@@ -1,0 +1,62 @@
+"""Figure 10 — the locality-prior dependency heatmap (existing approach).
+
+Visualises what a distance-prior model (GBike, [He & Shin 2020]) assumes
+about the dependency between a target station and its ten nearest
+stations over the morning rush: a fixed, monotonically decreasing
+function of distance, identical at every time slot. This is the
+strawman the paper's case study (Figs. 11-12) contrasts against.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import get_dataset, get_stgnn_trainer
+from repro.baselines import GBikeBaseline
+from repro.eval import locality_dependency_heatmap, render_heatmap, rush_window_times
+
+
+def target_station(dataset):
+    """Pick a busy central station (the paper uses Wabash & Grand)."""
+    return int(dataset.demand.sum(axis=0).argmax())
+
+
+def test_fig10_locality_dependency(benchmark, capsys):
+    dataset = get_dataset("Chicago")
+    target = target_station(dataset)
+    test_day = dataset.num_days - 1
+    times = rush_window_times(dataset, test_day, 7.0, 10.0)
+
+    heatmaps = {
+        direction: locality_dependency_heatmap(
+            dataset, target, times, neighbors=10, direction=direction
+        )
+        for direction in ("from_target", "to_target")
+    }
+
+    with capsys.disabled():
+        print("\nFig. 10: locality-prior (GBike-style) dependency heatmaps")
+        print("(paper: rows identical, strictly darker toward nearer stations)")
+        for direction, heatmap in heatmaps.items():
+            print()
+            print(render_heatmap(heatmap))
+            print(f"column monotonicity vs distance rank: "
+                  f"{heatmap.column_monotonicity():+.3f} (paper: strongly negative)")
+
+    for heatmap in heatmaps.values():
+        # Shape 1: time-invariant (every row identical).
+        assert np.allclose(heatmap.values, heatmap.values[0])
+        # Shape 2: monotone distance decay.
+        assert (np.diff(heatmap.values[0]) <= 1e-12).all()
+        assert heatmap.column_monotonicity() < -0.5
+
+    # The learned GBike attention shows the same prior-dominated shape.
+    gbike = GBikeBaseline.from_dataset(dataset, seed=0, decay_km=0.5)
+    sample = dataset.sample(int(times[0]))
+    alpha = gbike.dependency_matrix(sample)
+    d = dataset.registry.distance_matrix()
+    off = ~np.eye(len(d), dtype=bool)
+    assert np.corrcoef(d[off], alpha[off])[0, 1] < -0.2
+
+    benchmark(
+        locality_dependency_heatmap, dataset, target, times, 10, "from_target"
+    )

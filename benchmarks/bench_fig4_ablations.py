@@ -1,0 +1,61 @@
+"""Figure 4 — design-variation ablations: No FC / No FCG / No PCG.
+
+Each variant removes one of the three core components (Sec. VII-F):
+flow convolution (node features become free parameters), the
+flow-convoluted graph branch, or the pattern-correlation graph branch.
+Reproduction target: every ablation is worse than (or at best equal to)
+the full model on both cities.
+"""
+
+import pytest
+
+from _harness import (
+    DATASET_NAMES,
+    PAPER_FIG4,
+    evaluate,
+    get_dataset,
+    get_stgnn_trainer,
+    print_comparison_table,
+)
+
+VARIANTS = {
+    "No FC": {"use_flow_conv": False},
+    "No FCG": {"use_fcg": False},
+    "No PCG": {"use_pcg": False},
+    "STGNN-DJD": {},
+}
+
+_results_cache = {}
+
+
+def ablation_results():
+    if not _results_cache:
+        for name, overrides in VARIANTS.items():
+            _results_cache[name] = tuple(
+                evaluate("STGNN-DJD", city, **overrides) for city in DATASET_NAMES
+            )
+    return _results_cache
+
+
+def test_fig4_ablations(benchmark, capsys):
+    results = ablation_results()
+    with capsys.disabled():
+        rows = [(name, results[name][0], results[name][1]) for name in VARIANTS]
+        print_comparison_table(
+            "Fig. 4: design variations of STGNN-DJD (measured vs paper)",
+            rows, PAPER_FIG4,
+        )
+
+    for city_idx, city in enumerate(DATASET_NAMES):
+        full = results["STGNN-DJD"][city_idx].rmse
+        for variant in ("No FC", "No FCG", "No PCG"):
+            assert full <= results[variant][city_idx].rmse * 1.10, (
+                f"{city}: full model ({full:.3f}) should not be worse than "
+                f"{variant} ({results[variant][city_idx].rmse:.3f})"
+            )
+
+    # Benchmark: forward pass of the ablated (No FC) variant.
+    trainer = get_stgnn_trainer("Los Angeles", use_flow_conv=False)
+    dataset = get_dataset("Los Angeles")
+    _, _, test_idx = dataset.split_indices()
+    benchmark(trainer.predict, int(test_idx[0]))

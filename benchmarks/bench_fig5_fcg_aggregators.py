@@ -1,0 +1,63 @@
+"""Figure 5 — aggregator study on the flow-convoluted graph.
+
+Replaces the flow-based aggregator (Eq. 14) with the generic mean and
+max (GraphSAGE-style) aggregators. Reproduction target: the flow-based
+aggregator is the best of the three on both cities, because it uses the
+flow magnitudes the generic poolers discard.
+"""
+
+import pytest
+
+from _harness import (
+    DATASET_NAMES,
+    PAPER_FIG5,
+    evaluate,
+    get_dataset,
+    get_stgnn_trainer,
+    print_series_table,
+)
+
+AGGREGATORS = {"Mean": "mean", "Max": "max", "Flow-based": "flow"}
+
+_results_cache = {}
+
+
+def aggregator_results():
+    if not _results_cache:
+        for label, kind in AGGREGATORS.items():
+            _results_cache[label] = tuple(
+                evaluate("STGNN-DJD", city, fcg_aggregator=kind)
+                for city in DATASET_NAMES
+            )
+    return _results_cache
+
+
+def test_fig5_fcg_aggregators(benchmark, capsys):
+    results = aggregator_results()
+    with capsys.disabled():
+        print_series_table(
+            "Fig. 5: FCG aggregators, RMSE (measured) vs paper",
+            "aggregator", list(AGGREGATORS),
+            {
+                "Chicago": [results[a][0].rmse for a in AGGREGATORS],
+                "Los Angeles": [results[a][1].rmse for a in AGGREGATORS],
+                "Chicago MAE": [results[a][0].mae for a in AGGREGATORS],
+                "LA MAE": [results[a][1].mae for a in AGGREGATORS],
+            },
+            {
+                "Chicago": [PAPER_FIG5[a][0] for a in AGGREGATORS],
+                "Los Angeles": [PAPER_FIG5[a][1] for a in AGGREGATORS],
+            },
+        )
+
+    for city_idx, city in enumerate(DATASET_NAMES):
+        flow = results["Flow-based"][city_idx].rmse
+        others = min(results["Mean"][city_idx].rmse, results["Max"][city_idx].rmse)
+        assert flow <= others * 1.10, (
+            f"{city}: flow aggregator ({flow:.3f}) should beat mean/max ({others:.3f})"
+        )
+
+    trainer = get_stgnn_trainer("Los Angeles", fcg_aggregator="mean")
+    dataset = get_dataset("Los Angeles")
+    _, _, test_idx = dataset.split_indices()
+    benchmark(trainer.predict, int(test_idx[0]))

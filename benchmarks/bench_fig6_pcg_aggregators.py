@@ -1,0 +1,64 @@
+"""Figure 6 — aggregator study on the pattern correlation graph.
+
+Replaces the data-driven multi-head attention aggregator (Eqs. 15-18)
+with mean and max pooling over the dense PCG. Reproduction target: the
+attention aggregator wins on both cities — uniform pooling over all
+stations destroys the selectivity the attention provides.
+"""
+
+import pytest
+
+from _harness import (
+    DATASET_NAMES,
+    PAPER_FIG6,
+    evaluate,
+    get_dataset,
+    get_stgnn_trainer,
+    print_series_table,
+)
+
+AGGREGATORS = {"Mean": "mean", "Max": "max", "Attention-based": "attention"}
+
+_results_cache = {}
+
+
+def aggregator_results():
+    if not _results_cache:
+        for label, kind in AGGREGATORS.items():
+            _results_cache[label] = tuple(
+                evaluate("STGNN-DJD", city, pcg_aggregator=kind)
+                for city in DATASET_NAMES
+            )
+    return _results_cache
+
+
+def test_fig6_pcg_aggregators(benchmark, capsys):
+    results = aggregator_results()
+    with capsys.disabled():
+        print_series_table(
+            "Fig. 6: PCG aggregators, RMSE (measured) vs paper",
+            "aggregator", list(AGGREGATORS),
+            {
+                "Chicago": [results[a][0].rmse for a in AGGREGATORS],
+                "Los Angeles": [results[a][1].rmse for a in AGGREGATORS],
+                "Chicago MAE": [results[a][0].mae for a in AGGREGATORS],
+                "LA MAE": [results[a][1].mae for a in AGGREGATORS],
+            },
+            {
+                "Chicago": [PAPER_FIG6[a][0] for a in AGGREGATORS],
+                "Los Angeles": [PAPER_FIG6[a][1] for a in AGGREGATORS],
+            },
+        )
+
+    for city_idx, city in enumerate(DATASET_NAMES):
+        attention = results["Attention-based"][city_idx].rmse
+        others = min(results["Mean"][city_idx].rmse, results["Max"][city_idx].rmse)
+        assert attention <= others * 1.10, (
+            f"{city}: attention aggregator ({attention:.3f}) should beat "
+            f"mean/max ({others:.3f})"
+        )
+
+    trainer = get_stgnn_trainer("Los Angeles", pcg_aggregator="max")
+    dataset = get_dataset("Los Angeles")
+    _, _, test_idx = dataset.split_indices()
+    benchmark(trainer.predict, int(test_idx[0]))

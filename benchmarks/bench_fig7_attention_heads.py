@@ -1,0 +1,64 @@
+"""Figure 7 — impact of the attention head count m on RMSE/MAE.
+
+Sweeps m ∈ {1..5}. Reproduction target: error declines as heads are
+added and the improvement flattens out for m > 4 (the paper's chosen
+default) — more heads beyond that mostly duplicate patterns.
+"""
+
+import pytest
+
+from _harness import (
+    DATASET_NAMES,
+    PAPER_FIG7_RMSE,
+    evaluate,
+    get_dataset,
+    get_stgnn_trainer,
+    print_series_table,
+)
+
+HEADS = [1, 2, 3, 4, 5]
+
+_results_cache = {}
+
+
+def head_results():
+    if not _results_cache:
+        for m in HEADS:
+            _results_cache[m] = tuple(
+                evaluate("STGNN-DJD", city, num_heads=m) for city in DATASET_NAMES
+            )
+    return _results_cache
+
+
+def test_fig7_attention_heads(benchmark, capsys):
+    results = head_results()
+    with capsys.disabled():
+        print_series_table(
+            "Fig. 7: RMSE/MAE vs attention heads m (measured) vs paper",
+            "m", HEADS,
+            {
+                "Chicago RMSE": [results[m][0].rmse for m in HEADS],
+                "LA RMSE": [results[m][1].rmse for m in HEADS],
+                "Chicago MAE": [results[m][0].mae for m in HEADS],
+                "LA MAE": [results[m][1].mae for m in HEADS],
+            },
+            {
+                "Chicago RMSE": [PAPER_FIG7_RMSE[m][0] for m in HEADS],
+                "LA RMSE": [PAPER_FIG7_RMSE[m][1] for m in HEADS],
+            },
+        )
+
+    for city_idx, city in enumerate(DATASET_NAMES):
+        best_m = min(HEADS, key=lambda m: results[m][city_idx].rmse)
+        single = results[1][city_idx].rmse
+        # Shape: multiple heads should not lose to a single head.
+        assert results[best_m][city_idx].rmse <= single * 1.02, city
+        assert best_m > 1 or results[2][city_idx].rmse <= single * 1.1, (
+            f"{city}: adding heads should help (m=1 {single:.3f} vs "
+            f"m=2 {results[2][city_idx].rmse:.3f})"
+        )
+
+    trainer = get_stgnn_trainer("Los Angeles", num_heads=1)
+    dataset = get_dataset("Los Angeles")
+    _, _, test_idx = dataset.split_indices()
+    benchmark(trainer.predict, int(test_idx[0]))

@@ -1,0 +1,64 @@
+"""Figure 8 — impact of the FCG layer count on RMSE/MAE.
+
+Sweeps FCG depth 1..5. Reproduction target: a shallow optimum (the
+paper finds 2) — stacking enlarges the receptive field up to a point,
+after which extra parameters hurt.
+"""
+
+import pytest
+
+from _harness import (
+    DATASET_NAMES,
+    PAPER_FIG8_RMSE,
+    evaluate,
+    get_dataset,
+    get_stgnn_trainer,
+    print_series_table,
+)
+
+LAYERS = [1, 2, 3, 4, 5]
+
+_results_cache = {}
+
+
+def layer_results():
+    if not _results_cache:
+        for k in LAYERS:
+            _results_cache[k] = tuple(
+                evaluate("STGNN-DJD", city, fcg_layers=k) for city in DATASET_NAMES
+            )
+    return _results_cache
+
+
+def test_fig8_fcg_layers(benchmark, capsys):
+    results = layer_results()
+    with capsys.disabled():
+        print_series_table(
+            "Fig. 8: RMSE/MAE vs FCG layers (measured) vs paper",
+            "layers", LAYERS,
+            {
+                "Chicago RMSE": [results[k][0].rmse for k in LAYERS],
+                "LA RMSE": [results[k][1].rmse for k in LAYERS],
+                "Chicago MAE": [results[k][0].mae for k in LAYERS],
+                "LA MAE": [results[k][1].mae for k in LAYERS],
+            },
+            {
+                "Chicago RMSE": [PAPER_FIG8_RMSE[k][0] for k in LAYERS],
+                "LA RMSE": [PAPER_FIG8_RMSE[k][1] for k in LAYERS],
+            },
+        )
+
+    for city_idx, city in enumerate(DATASET_NAMES):
+        rmses = {k: results[k][city_idx].rmse for k in LAYERS}
+        # Shape: shallow depths are competitive — the deepest stack is
+        # never better than the best shallow (<=4) depth by any margin.
+        shallow_best = min(rmses[k] for k in LAYERS[:-1])
+        assert shallow_best <= rmses[5] * 1.05, (
+            f"{city}: a shallow FCG ({shallow_best:.3f}) should match or "
+            f"beat depth-5 ({rmses[5]:.3f})"
+        )
+
+    trainer = get_stgnn_trainer("Los Angeles", fcg_layers=1)
+    dataset = get_dataset("Los Angeles")
+    _, _, test_idx = dataset.split_indices()
+    benchmark(trainer.predict, int(test_idx[0]))

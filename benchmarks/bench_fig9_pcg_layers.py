@@ -1,0 +1,63 @@
+"""Figure 9 — impact of the PCG layer count on RMSE/MAE.
+
+Sweeps PCG depth 1..5. Reproduction target: like Fig. 8, a shallow
+optimum (the paper finds 3) with degradation at depth 5.
+"""
+
+import pytest
+
+from _harness import (
+    DATASET_NAMES,
+    PAPER_FIG9_RMSE,
+    evaluate,
+    get_dataset,
+    get_stgnn_trainer,
+    print_series_table,
+)
+
+LAYERS = [1, 2, 3, 4, 5]
+
+_results_cache = {}
+
+
+def layer_results():
+    if not _results_cache:
+        for k in LAYERS:
+            _results_cache[k] = tuple(
+                evaluate("STGNN-DJD", city, pcg_layers=k) for city in DATASET_NAMES
+            )
+    return _results_cache
+
+
+def test_fig9_pcg_layers(benchmark, capsys):
+    results = layer_results()
+    with capsys.disabled():
+        print_series_table(
+            "Fig. 9: RMSE/MAE vs PCG layers (measured) vs paper",
+            "layers", LAYERS,
+            {
+                "Chicago RMSE": [results[k][0].rmse for k in LAYERS],
+                "LA RMSE": [results[k][1].rmse for k in LAYERS],
+                "Chicago MAE": [results[k][0].mae for k in LAYERS],
+                "LA MAE": [results[k][1].mae for k in LAYERS],
+            },
+            {
+                "Chicago RMSE": [PAPER_FIG9_RMSE[k][0] for k in LAYERS],
+                "LA RMSE": [PAPER_FIG9_RMSE[k][1] for k in LAYERS],
+            },
+        )
+
+    for city_idx, city in enumerate(DATASET_NAMES):
+        rmses = {k: results[k][city_idx].rmse for k in LAYERS}
+        # Shape: shallow depths are competitive — the deepest stack is
+        # never better than the best shallow (<=4) depth by any margin.
+        shallow_best = min(rmses[k] for k in LAYERS[:-1])
+        assert shallow_best <= rmses[5] * 1.05, (
+            f"{city}: a shallow PCG ({shallow_best:.3f}) should match or "
+            f"beat depth-5 ({rmses[5]:.3f})"
+        )
+
+    trainer = get_stgnn_trainer("Los Angeles", pcg_layers=1)
+    dataset = get_dataset("Los Angeles")
+    _, _, test_idx = dataset.split_indices()
+    benchmark(trainer.predict, int(test_idx[0]))

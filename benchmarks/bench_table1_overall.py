@@ -1,0 +1,72 @@
+"""Table I — overall RMSE/MAE of all 12 methods on both cities.
+
+Regenerates the paper's headline comparison: classical time-series
+methods (HA, ARIMA, XGBoost/GBRT), pure-temporal deep models (MLP, RNN,
+LSTM), graph deep models (GCNN, MGNN, ASTGCN, STSGCN, GBike), and
+STGNN-DJD. The reproduction target is the *shape*: graph models beat
+temporal-only models, and STGNN-DJD is the best (or tied-best) overall.
+"""
+
+import pytest
+
+from _harness import (
+    DATASET_NAMES,
+    PAPER_TABLE1,
+    evaluate,
+    get_dataset,
+    get_stgnn_trainer,
+    print_comparison_table,
+)
+
+METHODS = list(PAPER_TABLE1)
+
+_results_cache = {}
+
+
+def table1_results():
+    if not _results_cache:
+        for method in METHODS:
+            _results_cache[method] = tuple(
+                evaluate(method, city) for city in DATASET_NAMES
+            )
+    return _results_cache
+
+
+def test_table1(benchmark, capsys):
+    results = table1_results()
+    with capsys.disabled():
+        rows = [(m, results[m][0], results[m][1]) for m in METHODS]
+        print_comparison_table(
+            "Table I: comparison with SOTA (measured vs paper)", rows, PAPER_TABLE1
+        )
+
+    rmse = {m: (results[m][0].rmse, results[m][1].rmse) for m in METHODS}
+    for city_idx, city in enumerate(DATASET_NAMES):
+        ours = rmse["STGNN-DJD"][city_idx]
+        # Shape check 1: STGNN-DJD beats the classical time-series
+        # methods (the paper's largest margins).
+        for method in ("HA", "ARIMA"):
+            assert ours < rmse[method][city_idx], (
+                f"{city}: STGNN-DJD ({ours:.3f}) should beat {method} "
+                f"({rmse[method][city_idx]:.3f})"
+            )
+        # Shape check 2: top tier — within 20% of the best method and
+        # better than the median baseline. (At this reproduction's data
+        # scale the exact #1 slot is noisy; see EXPERIMENTS.md.)
+        baselines = sorted(rmse[m][city_idx] for m in METHODS if m != "STGNN-DJD")
+        best = baselines[0]
+        median = baselines[len(baselines) // 2]
+        assert ours <= best * 1.20, (
+            f"{city}: STGNN-DJD ({ours:.3f}) should be within 20% of the "
+            f"best method ({best:.3f})"
+        )
+        assert ours < median, (
+            f"{city}: STGNN-DJD ({ours:.3f}) should beat the median "
+            f"baseline ({median:.3f})"
+        )
+
+    # Benchmark: one online prediction step of the full model.
+    trainer = get_stgnn_trainer("Chicago")
+    dataset = get_dataset("Chicago")
+    _, _, test_idx = dataset.split_indices()
+    benchmark(trainer.predict, int(test_idx[0]))

@@ -1,0 +1,68 @@
+"""City analytics: what does the operator's dashboard show?
+
+A no-training tour of the analysis toolkit over a synthetic city:
+station activity ranking, busiest hours, OD concentration, and the
+structural imbalance map (where bikes pile up or bleed away by
+time-of-day) — the context in which demand/supply prediction operates.
+
+    python examples/city_analytics.py [--seed 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import SyntheticCityConfig, generate_city
+from repro.eval import (
+    busiest_hours,
+    imbalance_by_slot,
+    od_concentration,
+    station_summaries,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2)
+    args = parser.parse_args()
+
+    config = SyntheticCityConfig(
+        name="analytics-city", num_stations=16, days=14,
+        trips_per_day=120.0 * 16, slot_seconds=1800.0,
+        short_window=48, long_days=3, school_pairs=2,
+    )
+    dataset = generate_city(config, seed=args.seed)
+    spd = dataset.slots_per_day
+    print(f"{dataset}: {dataset.demand.sum():.0f} checkouts over "
+          f"{dataset.num_days} days")
+
+    print("\nTop stations by demand:")
+    print("  rank | station | name        | demand | supply | net outflow | peak hour")
+    for rank, s in enumerate(station_summaries(dataset)[:6], start=1):
+        peak_hour = s.peak_demand_slot * 24.0 / spd
+        print(f"  {rank:>4} | {s.station_id:>7} | {s.name:<11} "
+              f"| {s.total_demand:>6.0f} | {s.total_supply:>6.0f} "
+              f"| {s.net_outflow:>+11.0f} | {peak_hour:>6.1f}h")
+
+    hours = [f"{slot * 24.0 / spd:.1f}h" for slot in busiest_hours(dataset, count=3)]
+    print(f"\nBusiest times of day (citywide): {', '.join(hours)}")
+
+    share = od_concentration(dataset, top_fraction=0.1)
+    print(f"Top 10% of OD pairs carry {share * 100:.0f}% of all trips "
+          "(heavy-tailed, as in real systems)")
+
+    print("\nStructural imbalance (mean net outflow, morning vs evening):")
+    net = imbalance_by_slot(dataset)
+    morning = net[int(8 * spd / 24)]
+    evening = net[int(18 * spd / 24)]
+    print("  station | 08:00 | 18:00")
+    for station in np.argsort(-np.abs(morning))[:5]:
+        print(f"  {station:>7} | {morning[station]:>+5.1f} | {evening[station]:>+5.1f}")
+    print("\n(Commuter structure: home stations bleed bikes in the morning and "
+          "refill in the evening; work stations mirror it.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Multi-step forecasting — the paper's Sec. IX extension, implemented.
+
+The paper sketches extending STGNN-DJD to predict several future slots
+jointly by widening the output head. This repo implements that via
+``STGNNDJDConfig.horizon``; the script trains a horizon-3 model and
+reports how accuracy degrades per step ahead.
+
+    python examples/multi_step_forecast.py [--seed 5] [--horizon 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    STGNNDJD,
+    SyntheticCityConfig,
+    Trainer,
+    TrainingConfig,
+    generate_city,
+)
+from repro.eval import active_station_mask, mae, rmse
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--horizon", type=int, default=3)
+    parser.add_argument("--epochs", type=int, default=8)
+    args = parser.parse_args()
+
+    config = SyntheticCityConfig(
+        name="multi-step-city",
+        num_stations=12,
+        days=14,
+        trips_per_day=70.0 * 12,
+        slot_seconds=1800.0,
+        short_window=48,
+        long_days=3,
+    )
+    dataset = generate_city(config, seed=args.seed)
+    model = STGNNDJD.from_dataset(dataset, seed=args.seed, horizon=args.horizon)
+    print(f"Training horizon-{args.horizon} STGNN-DJD on {dataset} ...")
+    trainer = Trainer(model, dataset,
+                      TrainingConfig(epochs=args.epochs, seed=args.seed))
+    trainer.fit()
+
+    _, _, test_idx = dataset.split_indices()
+    test_idx = test_idx[test_idx <= dataset.num_slots - args.horizon]
+
+    demand_pred = np.empty((len(test_idx), dataset.num_stations, args.horizon))
+    supply_pred = np.empty_like(demand_pred)
+    for row, t in enumerate(test_idx):
+        demand_pred[row], supply_pred[row] = trainer.predict(int(t))
+
+    print("\nError by forecast step (paper-style RMSE/MAE, active stations):")
+    print("  step | horizon slot | RMSE   | MAE")
+    for step in range(args.horizon):
+        targets_t = test_idx + step
+        demand_true = dataset.demand[targets_t]
+        supply_true = dataset.supply[targets_t]
+        mask = active_station_mask(demand_true, supply_true)
+        step_rmse = rmse(demand_true, demand_pred[:, :, step],
+                         supply_true, supply_pred[:, :, step], mask)
+        step_mae = mae(demand_true, demand_pred[:, :, step],
+                       supply_true, supply_pred[:, :, step], mask)
+        print(f"  {step:>4} | t + {step:<8} | {step_rmse:.3f} | {step_mae:.3f}")
+
+    print("\nExpected shape: error grows (or stays flat) with the step —")
+    print("the further ahead, the less the current flows pin the future down.")
+
+
+if __name__ == "__main__":
+    main()

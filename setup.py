@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` works on minimal environments that lack the
+``wheel`` package (pip falls back to the setup.py develop path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro — reproduction of STGNN-DJD (Li et al., ICDE 2022).
+
+A data-driven spatial-temporal graph neural network for docked bike
+demand and supply prediction, rebuilt from scratch: a numpy autograd
+engine, a neural-network layer library, a bike-share data substrate with
+a synthetic city generator, the STGNN-DJD model with its two
+spatial-temporal graphs (flow-convoluted and pattern-correlation), every
+baseline from the paper's evaluation, and an experiment harness that
+regenerates each table and figure.
+
+Quickstart::
+
+    from repro import SyntheticCityConfig, generate_city, STGNNDJD, Trainer
+
+    dataset = generate_city(SyntheticCityConfig.la_like(days=14), seed=7)
+    model = STGNNDJD.from_dataset(dataset, seed=7)
+    Trainer(model, dataset).fit(epochs=5)
+"""
+
+from repro.tensor import Tensor, no_grad
+from repro.data import (
+    BikeShareDataset,
+    FlowDataConfig,
+    Station,
+    StationRegistry,
+    SyntheticCityConfig,
+    TripRecord,
+    clean_trips,
+    generate_city,
+)
+from repro.core import STGNNDJD, STGNNDJDConfig, Trainer, TrainingConfig
+from repro.eval import evaluate_model, mae, rmse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "TripRecord",
+    "Station",
+    "StationRegistry",
+    "clean_trips",
+    "FlowDataConfig",
+    "BikeShareDataset",
+    "SyntheticCityConfig",
+    "generate_city",
+    "STGNNDJD",
+    "STGNNDJDConfig",
+    "Trainer",
+    "TrainingConfig",
+    "evaluate_model",
+    "rmse",
+    "mae",
+    "__version__",
+]

@@ -1,0 +1,84 @@
+"""Every baseline from the paper's Table I, re-implemented from scratch.
+
+Two families:
+
+* **Classical** predictors with their own ``fit()`` / ``predict(t)``
+  (original units): HA, ARIMA, GBRT (the XGBoost stand-in).
+* **Deep** models sharing STGNN-DJD's ``forward(sample)`` interface and
+  trained by the same :class:`repro.core.Trainer`: MLP, RNN, LSTM,
+  GCNN, MGNN, ASTGCN, STSGCN, GBike.
+
+``CLASSICAL_BASELINES`` / ``DEEP_BASELINES`` are name→factory registries
+used by the benchmark harness to sweep Table I.
+"""
+
+from repro.baselines.ha import HistoricalAverage
+from repro.baselines.arima import ArimaBaseline, ArimaModel, ArimaOrder
+from repro.baselines.gbrt import (
+    GBRTBaseline,
+    GBRTConfig,
+    GradientBoostedTrees,
+    RegressionTree,
+)
+from repro.baselines.base import (
+    BaselineDims,
+    DeepBaseline,
+    correlation_adjacency,
+    distance_adjacency,
+    interaction_adjacency,
+    normalized_adjacency,
+)
+from repro.baselines.mlp import MLPBaseline
+from repro.baselines.recurrent import LSTMBaseline, RNNBaseline
+from repro.baselines.gcnn import GCNNBaseline
+from repro.baselines.mgnn import MGNNBaseline
+from repro.baselines.astgcn import ASTGCNBaseline
+from repro.baselines.stsgcn import STSGCNBaseline, build_block_adjacency
+from repro.baselines.gbike import GBikeBaseline
+
+# Factories: callable(dataset) -> fitted classical predictor.
+CLASSICAL_BASELINES = {
+    "HA": lambda dataset: HistoricalAverage(dataset).fit(),
+    "ARIMA": lambda dataset: ArimaBaseline(dataset).fit(),
+    "XGBoost": lambda dataset: GBRTBaseline(dataset).fit(),
+}
+
+# Factories: callable(dataset, seed) -> untrained deep model.
+DEEP_BASELINES = {
+    "MLP": MLPBaseline.from_dataset,
+    "RNN": RNNBaseline.from_dataset,
+    "LSTM": LSTMBaseline.from_dataset,
+    "GCNN": GCNNBaseline.from_dataset,
+    "MGNN": MGNNBaseline.from_dataset,
+    "ASTGCN": ASTGCNBaseline.from_dataset,
+    "STSGCN": STSGCNBaseline.from_dataset,
+    "GBike": GBikeBaseline.from_dataset,
+}
+
+__all__ = [
+    "HistoricalAverage",
+    "ArimaBaseline",
+    "ArimaModel",
+    "ArimaOrder",
+    "GBRTBaseline",
+    "GBRTConfig",
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "BaselineDims",
+    "DeepBaseline",
+    "normalized_adjacency",
+    "distance_adjacency",
+    "correlation_adjacency",
+    "interaction_adjacency",
+    "MLPBaseline",
+    "RNNBaseline",
+    "LSTMBaseline",
+    "GCNNBaseline",
+    "MGNNBaseline",
+    "ASTGCNBaseline",
+    "STSGCNBaseline",
+    "build_block_adjacency",
+    "GBikeBaseline",
+    "CLASSICAL_BASELINES",
+    "DEEP_BASELINES",
+]

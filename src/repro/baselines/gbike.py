@@ -1,0 +1,90 @@
+"""GBike baseline [He & Shin, WWW 2020].
+
+A spatial-temporal graph-attention model with a *distance prior*: it
+"assumed that closer stations would have more dependency than distant
+stations, and used a predefined metric to measure the dependency in
+terms of distance" (paper Sec. VII-B). We implement that mechanism as
+graph attention whose logits are additively biased by the log of a
+distance-decay kernel — attention can sharpen locality but can never
+promote a distant station above the prior's decay, which is exactly
+the limitation Figs. 10-12 illustrate.
+
+``dependency_matrix`` exposes the resulting attention for the Fig. 10
+case-study comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineDims, DeepBaseline
+from repro.data.dataset import BikeShareDataset, FlowSample
+from repro.nn import Dropout, Linear, PairwiseAdditiveAttention
+from repro.tensor import Tensor, no_grad, ops
+
+
+class GBikeBaseline(DeepBaseline):
+    """Distance-prior graph attention network."""
+
+    def __init__(
+        self,
+        dims: BaselineDims,
+        distances_km: np.ndarray,
+        decay_km: float = 1.0,
+        hidden: int = 48,
+        num_layers: int = 2,
+        dropout: float = 0.2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(dims)
+        if decay_km <= 0:
+            raise ValueError("decay_km must be positive")
+        rng = rng or np.random.default_rng()
+        # Log-kernel bias: softmax(e + log k) = softmax-of-(exp(e) * k),
+        # i.e. attention scores multiplied by the locality prior.
+        kernel = np.exp(-np.asarray(distances_km) / decay_km)
+        self._log_kernel = np.log(np.maximum(kernel, 1e-12))
+        self.embed = Linear(self.station_feature_width, hidden, rng=rng)
+        self.attentions = [PairwiseAdditiveAttention(hidden, rng) for _ in range(num_layers)]
+        self.values = [Linear(hidden, hidden, bias=False, rng=rng) for _ in range(num_layers)]
+        for i, (attention, value) in enumerate(zip(self.attentions, self.values)):
+            self.register_module(f"attention{i}", attention)
+            self.register_module(f"value{i}", value)
+        self.head = Linear(hidden, 2, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: BikeShareDataset, seed: int = 0, **kwargs
+    ) -> "GBikeBaseline":
+        return cls(
+            BaselineDims.from_dataset(dataset),
+            dataset.registry.distance_matrix(),
+            rng=np.random.default_rng(seed),
+            **kwargs,
+        )
+
+    def _attention_with_prior(
+        self, attention: PairwiseAdditiveAttention, hidden: Tensor
+    ) -> Tensor:
+        raw = attention.scores(hidden)
+        return ops.softmax(raw + Tensor(self._log_kernel), axis=-1)
+
+    def forward(self, sample: FlowSample) -> tuple[Tensor, Tensor]:
+        hidden = self.embed(Tensor(self.station_features(sample))).relu()
+        for attention, value in zip(self.attentions, self.values):
+            alpha = self._attention_with_prior(attention, hidden)
+            hidden = self.dropout((alpha @ value(hidden)).elu())
+        output = self.head(hidden)
+        return output[:, 0], output[:, 1]
+
+    def dependency_matrix(self, sample: FlowSample) -> np.ndarray:
+        """First-layer prior-biased attention — the Fig. 10 quantity."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                hidden = self.embed(Tensor(self.station_features(sample))).relu()
+                return self._attention_with_prior(self.attentions[0], hidden).data.copy()
+        finally:
+            self.train(was_training)

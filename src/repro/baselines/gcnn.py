@@ -1,0 +1,65 @@
+"""GCNN baseline [Lin et al., 2018] — conventional graph convolution.
+
+Per-station history features are propagated over a *distance-kernel*
+graph with two Kipf-Welling GCN layers, then mapped to predictions.
+This is the paper's representative of plain spectral graph convolution:
+spatial dependency is captured, but the graph is static and encodes only
+"link correlations" (locality), with no attention and no flow structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (
+    BaselineDims,
+    DeepBaseline,
+    distance_adjacency,
+    normalized_adjacency,
+)
+from repro.data.dataset import BikeShareDataset, FlowSample
+from repro.nn import Dropout, Linear
+from repro.tensor import Tensor
+
+
+class GCNNBaseline(DeepBaseline):
+    """Two-layer GCN over a static distance graph."""
+
+    def __init__(
+        self,
+        dims: BaselineDims,
+        adjacency: np.ndarray,
+        hidden: int = 64,
+        num_layers: int = 2,
+        dropout: float = 0.2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(dims)
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.propagation = Tensor(normalized_adjacency(adjacency))
+        self.embed = Linear(self.station_feature_width, hidden, rng=rng)
+        self.gcn_layers = [Linear(hidden, hidden, rng=rng) for _ in range(num_layers)]
+        for i, layer in enumerate(self.gcn_layers):
+            self.register_module(f"gcn{i}", layer)
+        self.head = Linear(hidden, 2, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: BikeShareDataset, seed: int = 0, **kwargs
+    ) -> "GCNNBaseline":
+        return cls(
+            BaselineDims.from_dataset(dataset),
+            distance_adjacency(dataset),
+            rng=np.random.default_rng(seed),
+            **kwargs,
+        )
+
+    def forward(self, sample: FlowSample) -> tuple[Tensor, Tensor]:
+        hidden = self.embed(Tensor(self.station_features(sample))).relu()
+        for layer in self.gcn_layers:
+            hidden = self.dropout(layer(self.propagation @ hidden).relu())
+        output = self.head(hidden)
+        return output[:, 0], output[:, 1]

@@ -1,0 +1,45 @@
+"""Historical Average (HA) baseline [Froehlich et al., 2009].
+
+Predicts a station's demand/supply at slot ``t`` as the average of its
+historical demand/supply at the same slot-of-day over the training days
+— the simplest periodic predictor and the paper's weakest baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import BikeShareDataset
+
+
+class HistoricalAverage:
+    """Same-slot-of-day mean over the training split."""
+
+    def __init__(self, dataset: BikeShareDataset) -> None:
+        self.dataset = dataset
+        self._demand_profile: np.ndarray | None = None  # (spd, n)
+        self._supply_profile: np.ndarray | None = None
+
+    def fit(self) -> "HistoricalAverage":
+        """Average the training days per slot-of-day."""
+        train_idx, _, _ = self.dataset.split_indices()
+        spd = self.dataset.slots_per_day
+        n = self.dataset.num_stations
+        demand_profile = np.zeros((spd, n))
+        supply_profile = np.zeros((spd, n))
+        counts = np.zeros(spd)
+        for t in train_idx:
+            slot = t % spd
+            demand_profile[slot] += self.dataset.demand[t]
+            supply_profile[slot] += self.dataset.supply[t]
+            counts[slot] += 1
+        counts[counts == 0] = 1.0
+        self._demand_profile = demand_profile / counts[:, None]
+        self._supply_profile = supply_profile / counts[:, None]
+        return self
+
+    def predict(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        if self._demand_profile is None:
+            raise RuntimeError("HistoricalAverage used before fit()")
+        slot = t % self.dataset.slots_per_day
+        return self._demand_profile[slot].copy(), self._supply_profile[slot].copy()

@@ -1,0 +1,82 @@
+"""MGNN baseline [Chai et al., 2018] — multi-graph convolution.
+
+Three station graphs are built from training data — *distance*
+(locality), *correlation* (demand-pattern similarity) and *interaction*
+(aggregate ride volume) — and each GCN layer averages the propagation of
+all three, "considering correlations between stations without graph
+attention" (paper Sec. VII-B). Still static: the graphs are fixed after
+fitting, unlike STGNN-DJD's per-time-slot regeneration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (
+    BaselineDims,
+    DeepBaseline,
+    correlation_adjacency,
+    distance_adjacency,
+    interaction_adjacency,
+    normalized_adjacency,
+)
+from repro.data.dataset import BikeShareDataset, FlowSample
+from repro.nn import Dropout, Linear
+from repro.tensor import Tensor
+
+
+class MGNNBaseline(DeepBaseline):
+    """Multi-graph GCN over distance/correlation/interaction graphs."""
+
+    def __init__(
+        self,
+        dims: BaselineDims,
+        adjacencies: list[np.ndarray],
+        hidden: int = 64,
+        num_layers: int = 2,
+        dropout: float = 0.2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(dims)
+        if not adjacencies:
+            raise ValueError("MGNN needs at least one graph")
+        rng = rng or np.random.default_rng()
+        self.propagations = [Tensor(normalized_adjacency(a)) for a in adjacencies]
+        self.embed = Linear(self.station_feature_width, hidden, rng=rng)
+        # One weight per (layer, graph): graph-specific transforms whose
+        # outputs are averaged, the standard multi-graph fusion.
+        self.graph_layers: list[list[Linear]] = []
+        for layer_idx in range(num_layers):
+            row = [Linear(hidden, hidden, rng=rng) for _ in adjacencies]
+            for graph_idx, layer in enumerate(row):
+                self.register_module(f"layer{layer_idx}_graph{graph_idx}", layer)
+            self.graph_layers.append(row)
+        self.head = Linear(hidden, 2, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: BikeShareDataset, seed: int = 0, **kwargs
+    ) -> "MGNNBaseline":
+        graphs = [
+            distance_adjacency(dataset),
+            correlation_adjacency(dataset),
+            interaction_adjacency(dataset),
+        ]
+        return cls(
+            BaselineDims.from_dataset(dataset),
+            graphs,
+            rng=np.random.default_rng(seed),
+            **kwargs,
+        )
+
+    def forward(self, sample: FlowSample) -> tuple[Tensor, Tensor]:
+        hidden = self.embed(Tensor(self.station_features(sample))).relu()
+        for row in self.graph_layers:
+            fused = None
+            for propagation, layer in zip(self.propagations, row):
+                branch = layer(propagation @ hidden)
+                fused = branch if fused is None else fused + branch
+            hidden = self.dropout((fused * (1.0 / len(row))).relu())
+        output = self.head(hidden)
+        return output[:, 0], output[:, 1]

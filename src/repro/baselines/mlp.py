@@ -1,0 +1,48 @@
+"""MLP baseline: a three-layer fully connected network (paper Table I).
+
+Each station's flattened recent+daily demand/supply history is mapped
+independently (shared weights across stations) through three FC layers
+to its ``(demand, supply)`` prediction. No spatial information at all —
+the paper's representative of pure-temporal deep models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineDims, DeepBaseline
+from repro.data.dataset import BikeShareDataset, FlowSample
+from repro.nn import Dropout, Linear
+from repro.tensor import Tensor
+
+
+class MLPBaseline(DeepBaseline):
+    """Three-layer MLP over per-station history features."""
+
+    def __init__(
+        self,
+        dims: BaselineDims,
+        hidden: int = 64,
+        dropout: float = 0.2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(dims)
+        rng = rng or np.random.default_rng()
+        width = self.station_feature_width
+        self.layer1 = Linear(width, hidden, rng=rng)
+        self.layer2 = Linear(hidden, hidden, rng=rng)
+        self.layer3 = Linear(hidden, 2, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: BikeShareDataset, seed: int = 0, **kwargs
+    ) -> "MLPBaseline":
+        return cls(BaselineDims.from_dataset(dataset), rng=np.random.default_rng(seed), **kwargs)
+
+    def forward(self, sample: FlowSample) -> tuple[Tensor, Tensor]:
+        features = Tensor(self.station_features(sample))
+        hidden = self.dropout(self.layer1(features).relu())
+        hidden = self.dropout(self.layer2(hidden).relu())
+        output = self.layer3(hidden)  # (n, 2)
+        return output[:, 0], output[:, 1]

@@ -1,0 +1,54 @@
+"""RNN and LSTM baselines (paper Table I).
+
+Each station's recent demand/supply series is encoded by a shared
+recurrent network (stations form the batch dimension) and the final
+hidden state is mapped to ``(demand, supply)``. These are the paper's
+representatives of sequential temporal models — no spatial dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineDims, DeepBaseline
+from repro.data.dataset import BikeShareDataset, FlowSample
+from repro.nn import Linear, LSTMEncoder, RNNEncoder
+from repro.tensor import Tensor
+
+
+class RNNBaseline(DeepBaseline):
+    """Vanilla RNN encoder + linear head."""
+
+    encoder_cls = RNNEncoder
+
+    def __init__(
+        self,
+        dims: BaselineDims,
+        hidden: int = 32,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(dims)
+        rng = rng or np.random.default_rng()
+        self.encoder = self.encoder_cls(2, hidden, rng)
+        self.head = Linear(hidden, 2, rng=rng)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: BikeShareDataset, seed: int = 0, **kwargs
+    ):
+        # Recurrent baselines unroll per time step, so a shorter history
+        # window keeps them tractable without changing their character.
+        dims = BaselineDims.from_dataset(dataset, history=12)
+        return cls(dims, rng=np.random.default_rng(seed), **kwargs)
+
+    def forward(self, sample: FlowSample) -> tuple[Tensor, Tensor]:
+        sequence = Tensor(self.recent_history(sample))  # (h, n, 2)
+        final_hidden = self.encoder(sequence)  # (n, hidden)
+        output = self.head(final_hidden)
+        return output[:, 0], output[:, 1]
+
+
+class LSTMBaseline(RNNBaseline):
+    """LSTM encoder + linear head."""
+
+    encoder_cls = LSTMEncoder

@@ -1,0 +1,102 @@
+"""STSGCN baseline [Song et al., AAAI 2020].
+
+Spatial-Temporal Synchronous GCN: consecutive time slots are tied into
+one *localized spatial-temporal graph* — a block adjacency over
+``window x n`` nodes where diagonal blocks are the spatial graph and
+off-diagonal blocks are identity links between the same station at
+adjacent slots. Graph convolution on this block graph captures local ST
+correlation *synchronously* (the property the paper credits STSGCN
+with), after which the representation is cropped back to the current
+slot's stations for prediction.
+
+The localized window means long-range (in time or space) dependency is
+out of reach — STGNN-DJD's point of comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (
+    BaselineDims,
+    DeepBaseline,
+    distance_adjacency,
+    normalized_adjacency,
+)
+from repro.data.dataset import BikeShareDataset, FlowSample
+from repro.nn import Dropout, Linear
+from repro.tensor import Tensor
+
+
+def build_block_adjacency(spatial: np.ndarray, window: int) -> np.ndarray:
+    """The localized ST graph: ``(window*n, window*n)`` block matrix.
+
+    Diagonal blocks: the spatial adjacency at each slot. First off-
+    diagonals: identity edges connecting a station to itself at the
+    previous/next slot — STSGCN's temporal links.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    n = len(spatial)
+    block = np.zeros((window * n, window * n))
+    eye = np.eye(n)
+    for slot in range(window):
+        lo, hi = slot * n, (slot + 1) * n
+        block[lo:hi, lo:hi] = spatial
+        if slot + 1 < window:
+            nxt_lo, nxt_hi = (slot + 1) * n, (slot + 2) * n
+            block[lo:hi, nxt_lo:nxt_hi] = eye
+            block[nxt_lo:nxt_hi, lo:hi] = eye
+    return block
+
+
+class STSGCNBaseline(DeepBaseline):
+    """Synchronous GCN over a 3-slot localized ST block graph."""
+
+    def __init__(
+        self,
+        dims: BaselineDims,
+        adjacency: np.ndarray,
+        window: int = 3,
+        hidden: int = 48,
+        num_layers: int = 2,
+        dropout: float = 0.2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(dims)
+        if window < 1 or window > dims.history:
+            raise ValueError(f"window must be in [1, history], got {window}")
+        rng = rng or np.random.default_rng()
+        self.window = window
+        self.propagation = Tensor(
+            normalized_adjacency(build_block_adjacency(adjacency, window))
+        )
+        self.embed = Linear(2, hidden, rng=rng)
+        self.sync_layers = [Linear(hidden, hidden, rng=rng) for _ in range(num_layers)]
+        for i, layer in enumerate(self.sync_layers):
+            self.register_module(f"sync{i}", layer)
+        self.head = Linear(hidden, 2, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: BikeShareDataset, seed: int = 0, **kwargs
+    ) -> "STSGCNBaseline":
+        return cls(
+            BaselineDims.from_dataset(dataset),
+            distance_adjacency(dataset),
+            rng=np.random.default_rng(seed),
+            **kwargs,
+        )
+
+    def forward(self, sample: FlowSample) -> tuple[Tensor, Tensor]:
+        recent = self.recent_history(sample)[-self.window :]  # (w, n, 2)
+        n = recent.shape[1]
+        stacked = recent.reshape(self.window * n, 2)  # slot-major node list
+        hidden = self.embed(Tensor(stacked)).relu()
+        for layer in self.sync_layers:
+            hidden = self.dropout(layer(self.propagation @ hidden).relu())
+        # Crop to the latest slot's stations (the prediction targets).
+        latest = hidden[(self.window - 1) * n :]
+        output = self.head(latest)
+        return output[:, 0], output[:, 1]

@@ -1,0 +1,45 @@
+"""The paper's contribution: STGNN-DJD model, aggregators, GNNs, trainer."""
+
+from repro.core.aggregators import (
+    FlowAggregator,
+    MaxAggregator,
+    MeanAggregator,
+    make_fcg_aggregator,
+)
+from repro.core.gnn import FlowGNN, PatternGNN
+from repro.core.model import STGNNDJD, STGNNDJDConfig
+from repro.core.trainer import Trainer, TrainingConfig, TrainingHistory
+from repro.core.persistence import (
+    load_config,
+    load_state,
+    load_stgnn,
+    save_checkpoint,
+)
+from repro.core.tuning import (
+    CandidateResult,
+    SearchResult,
+    expand_grid,
+    select_config,
+)
+
+__all__ = [
+    "FlowAggregator",
+    "MeanAggregator",
+    "MaxAggregator",
+    "make_fcg_aggregator",
+    "FlowGNN",
+    "PatternGNN",
+    "STGNNDJD",
+    "STGNNDJDConfig",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "save_checkpoint",
+    "load_state",
+    "load_config",
+    "load_stgnn",
+    "select_config",
+    "expand_grid",
+    "SearchResult",
+    "CandidateResult",
+]

@@ -1,0 +1,87 @@
+"""Neighborhood aggregators for the two spatial-temporal graphs (Sec. V).
+
+The paper argues that generic GNN aggregators (mean/max pooling, as in
+GraphSAGE) ignore what bike-share data actually says about dependency,
+and proposes:
+
+* a **flow-based aggregator** for the FCG — a weighted sum where the
+  weights are the flow shares of Eq. 10 (more flow between two stations
+  means more influence), Eq. 14;
+* an **attention-based aggregator** for the PCG — data-driven multi-head
+  attention with no distance prior, Eqs. 15-18 (implemented inside
+  :class:`repro.core.gnn.PatternGNN` because attention is recomputed per
+  layer).
+
+Mean and max aggregators are implemented too: they are the comparison
+points of the paper's aggregator study (Figs. 5-6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Module
+from repro.tensor import Tensor, ops
+
+VALID_FCG_AGGREGATORS = ("flow", "mean", "max")
+VALID_PCG_AGGREGATORS = ("attention", "mean", "max")
+
+
+class FlowAggregator(Module):
+    """Weighted-sum pooling by flow share (Eq. 14).
+
+    ``Aggr_i = sum_u w[i, u] F[u]`` where ``w`` are the FCG edge weights
+    (zero outside the adjacency mask), i.e. a single sparse-like matmul.
+    """
+
+    def forward(self, features: Tensor, weights: Tensor, mask: np.ndarray) -> Tensor:
+        return weights @ features
+
+
+class MeanAggregator(Module):
+    """Element-wise mean over ``{i} ∪ N(i)`` (GraphSAGE-mean)."""
+
+    def forward(self, features: Tensor, weights: Tensor, mask: np.ndarray) -> Tensor:
+        mask = np.asarray(mask, dtype=np.float64)
+        degrees = mask.sum(axis=1, keepdims=True)
+        degrees[degrees == 0] = 1.0  # isolated node keeps a zero vector
+        mean_weights = Tensor(mask / degrees)
+        return mean_weights @ features
+
+
+class MaxAggregator(Module):
+    """FC-then-elementwise-max pooling (GraphSAGE-pool).
+
+    Each neighbor embedding passes through a shared fully connected
+    layer with ReLU, then the node takes the element-wise max over its
+    masked neighborhood — the paper's "Max Aggregator" baseline.
+    """
+
+    def __init__(self, features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.transform = Linear(features, features, rng=rng)
+
+    def forward(self, features: Tensor, weights: Tensor, mask: np.ndarray) -> Tensor:
+        transformed = self.transform(features).relu()  # (n, f)
+        n = transformed.shape[0]
+        # Broadcast to (n, n, f): entry [i, j] is neighbor j's embedding,
+        # pushed to -inf where j is not adjacent to i so max ignores it.
+        mask = np.asarray(mask, dtype=bool)
+        neighbor_matrix = transformed.reshape((1, n, -1)) * Tensor(np.ones((n, 1, 1)))
+        big_negative = Tensor(np.where(mask[:, :, None], 0.0, -1e30))
+        return ops.max(neighbor_matrix + big_negative, axis=1)
+
+
+def make_fcg_aggregator(
+    kind: str, features: int, rng: np.random.Generator
+) -> Module:
+    """Factory for the FCG aggregator (paper default: ``"flow"``)."""
+    if kind == "flow":
+        return FlowAggregator()
+    if kind == "mean":
+        return MeanAggregator()
+    if kind == "max":
+        return MaxAggregator(features, rng)
+    raise ValueError(
+        f"unknown FCG aggregator {kind!r}; choose from {VALID_FCG_AGGREGATORS}"
+    )

@@ -1,0 +1,61 @@
+"""Model checkpointing: save/load STGNN-DJD (and any Module) to ``.npz``.
+
+The paper's deployment story (Sec. VII-I) is train-offline,
+predict-online; checkpoints are the artifact that crosses that
+boundary. A checkpoint stores the parameter arrays plus the model
+configuration, so :func:`load_stgnn` can rebuild the exact model without
+the original dataset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.model import STGNNDJD, STGNNDJDConfig
+from repro.nn import Module
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_checkpoint(model: Module, path: str | Path) -> None:
+    """Write a module's parameters (and config, if present) to ``.npz``."""
+    path = Path(path)
+    arrays = dict(model.state_dict())
+    config = getattr(model, "config", None)
+    if dataclasses.is_dataclass(config):
+        config_json = json.dumps(dataclasses.asdict(config))
+        arrays[_CONFIG_KEY] = np.frombuffer(
+            config_json.encode("utf-8"), dtype=np.uint8
+        ).copy()
+    np.savez(path, **arrays)
+
+
+def load_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Read the raw parameter dict from a checkpoint."""
+    with np.load(Path(path)) as bundle:
+        return {
+            name: bundle[name].copy()
+            for name in bundle.files
+            if name != _CONFIG_KEY
+        }
+
+
+def load_config(path: str | Path) -> STGNNDJDConfig:
+    """Read the model configuration stored in a checkpoint."""
+    with np.load(Path(path)) as bundle:
+        if _CONFIG_KEY not in bundle.files:
+            raise KeyError(f"checkpoint {path} carries no model config")
+        raw = bytes(bundle[_CONFIG_KEY]).decode("utf-8")
+    return STGNNDJDConfig(**json.loads(raw))
+
+
+def load_stgnn(path: str | Path) -> STGNNDJD:
+    """Rebuild a saved STGNN-DJD: config + parameters, ready for eval."""
+    model = STGNNDJD(load_config(path))
+    model.load_state_dict(load_state(path))
+    model.eval()
+    return model

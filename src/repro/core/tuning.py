@@ -1,0 +1,92 @@
+"""Hyperparameter selection on the validation split (paper Sec. VII-C).
+
+"We set the hyperparameters based on the performance of the validation
+dataset" — this module is that procedure, made explicit and reusable:
+train a model per candidate configuration, score each on validation
+loss, return the winner. It is how the benchmark harness's operating
+point was chosen (see ``benchmarks/_harness.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.model import STGNNDJD
+from repro.core.trainer import Trainer, TrainingConfig
+from repro.data.dataset import BikeShareDataset
+from repro.utils import get_logger
+
+logger = get_logger("tuning")
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateResult:
+    """One evaluated configuration."""
+
+    overrides: tuple[tuple[str, object], ...]
+    val_loss: float
+    epochs_trained: int
+
+    @property
+    def as_dict(self) -> dict:
+        return dict(self.overrides)
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """Outcome of a grid search: winner plus the full leaderboard."""
+
+    best: CandidateResult
+    leaderboard: list[CandidateResult] = field(default_factory=list)
+
+    def best_overrides(self) -> dict:
+        return self.best.as_dict
+
+
+def expand_grid(grid: Mapping[str, Sequence]) -> list[dict]:
+    """Cartesian product of a ``{field: [values...]}`` grid."""
+    if not grid:
+        return [{}]
+    keys = sorted(grid)
+    return [
+        dict(zip(keys, combo))
+        for combo in itertools.product(*(grid[key] for key in keys))
+    ]
+
+
+def select_config(
+    dataset: BikeShareDataset,
+    grid: Mapping[str, Sequence],
+    training: TrainingConfig | None = None,
+    seed: int = 0,
+    verbose: bool = False,
+) -> SearchResult:
+    """Grid-search STGNN-DJD configuration fields on validation loss.
+
+    ``grid`` maps :class:`~repro.core.STGNNDJDConfig` field names to
+    candidate values, e.g. ``{"fcg_layers": [1, 2], "num_heads": [2, 4]}``.
+    Each candidate trains with the same protocol and seed; the model
+    with the lowest best-epoch validation loss wins. The test split is
+    never touched.
+    """
+    training = training or TrainingConfig(epochs=10, patience=4, seed=seed)
+    candidates = expand_grid(grid)
+    results: list[CandidateResult] = []
+    for overrides in candidates:
+        model = STGNNDJD.from_dataset(dataset, seed=seed, **overrides)
+        trainer = Trainer(model, dataset, training)
+        history = trainer.fit()
+        result = CandidateResult(
+            overrides=tuple(sorted(overrides.items())),
+            val_loss=float(min(history.val_loss)),
+            epochs_trained=len(history.val_loss),
+        )
+        results.append(result)
+        if verbose:
+            logger.info("candidate %s -> val %.4f", overrides, result.val_loss)
+    results.sort(key=lambda r: r.val_loss)
+    return SearchResult(best=results[0], leaderboard=results)

@@ -1,0 +1,249 @@
+"""The central dataset object: slotted flows plus windowed sampling.
+
+``BikeShareDataset`` holds the full ``(T, n, n)`` inflow/outflow tensors
+for a city and exposes exactly what STGNN-DJD consumes at a prediction
+time ``t`` (paper Sec. IV-A):
+
+* the *short-term* window — flow matrices of the last ``k`` slots,
+* the *long-term* window — flow matrices at the same slot-of-day over
+  the previous ``d`` days,
+* the targets — demand ``x^t`` and supply ``y^t`` per station.
+
+It also owns the day-aligned 70/10/20 train/validation/test split and
+the Min-Max normalizers fitted on training data only (Sec. VII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.flows import demand_supply
+from repro.data.normalize import MinMaxNormalizer
+from repro.data.records import SECONDS_PER_DAY
+from repro.data.stations import StationRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class FlowDataConfig:
+    """Windowing hyperparameters for sampling model inputs.
+
+    Attributes
+    ----------
+    slot_seconds:
+        Duration of a time slot. The paper uses 15 minutes (900 s);
+        tests use coarser slots to keep tensors small.
+    short_window:
+        ``k`` — number of most recent slots for short-term dependency.
+        The paper sets ``k = 96`` (one full day of 15-minute slots).
+    long_days:
+        ``d`` — number of previous days whose same-slot matrices form
+        the long-term window. The paper sets ``d = 7``.
+    train_fraction / val_fraction:
+        Day-aligned split fractions; the remainder is the test set.
+    """
+
+    slot_seconds: float = 900.0
+    short_window: int = 96
+    long_days: int = 7
+    train_fraction: float = 0.7
+    val_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.slot_seconds <= 0:
+            raise ValueError(f"slot_seconds must be positive, got {self.slot_seconds}")
+        if SECONDS_PER_DAY % self.slot_seconds != 0:
+            raise ValueError(
+                f"slot_seconds ({self.slot_seconds}) must divide a day evenly"
+            )
+        if self.short_window < 1:
+            raise ValueError(f"short_window must be >= 1, got {self.short_window}")
+        if self.long_days < 1:
+            raise ValueError(f"long_days must be >= 1, got {self.long_days}")
+        if not 0.0 < self.train_fraction < 1.0 or not 0.0 < self.val_fraction < 1.0:
+            raise ValueError("split fractions must be in (0, 1)")
+        if self.train_fraction + self.val_fraction >= 1.0:
+            raise ValueError("train_fraction + val_fraction must leave room for a test set")
+
+    @property
+    def slots_per_day(self) -> int:
+        return int(SECONDS_PER_DAY // self.slot_seconds)
+
+
+@dataclass(frozen=True, slots=True)
+class FlowSample:
+    """Model input/target bundle for one prediction time ``t``.
+
+    Flow windows are raw counts; normalization happens in the model or
+    trainer so that a sample remains interpretable on its own.
+    """
+
+    t: int
+    short_inflow: np.ndarray  # (k, n, n)
+    short_outflow: np.ndarray  # (k, n, n)
+    long_inflow: np.ndarray  # (d, n, n)
+    long_outflow: np.ndarray  # (d, n, n)
+    target_demand: np.ndarray  # (n,)
+    target_supply: np.ndarray  # (n,)
+
+
+class BikeShareDataset:
+    """Slotted bike-share flows for one city."""
+
+    def __init__(
+        self,
+        registry: StationRegistry,
+        inflow: np.ndarray,
+        outflow: np.ndarray,
+        config: FlowDataConfig,
+        name: str = "",
+    ) -> None:
+        inflow = np.asarray(inflow, dtype=np.float64)
+        outflow = np.asarray(outflow, dtype=np.float64)
+        if inflow.shape != outflow.shape:
+            raise ValueError(
+                f"inflow shape {inflow.shape} != outflow shape {outflow.shape}"
+            )
+        if inflow.ndim != 3 or inflow.shape[1] != inflow.shape[2]:
+            raise ValueError(f"flow tensors must be (T, n, n), got {inflow.shape}")
+        if inflow.shape[1] != len(registry):
+            raise ValueError(
+                f"flow tensors have {inflow.shape[1]} stations, registry has {len(registry)}"
+            )
+        if inflow.shape[0] % config.slots_per_day != 0:
+            raise ValueError(
+                f"{inflow.shape[0]} slots is not a whole number of "
+                f"{config.slots_per_day}-slot days"
+            )
+        self.registry = registry
+        self.inflow = inflow
+        self.outflow = outflow
+        self.config = config
+        self.name = name
+        self.demand, self.supply = demand_supply(inflow, outflow)
+        self._demand_normalizer: MinMaxNormalizer | None = None
+        self._supply_normalizer: MinMaxNormalizer | None = None
+        self._flow_scale: float | None = None
+
+    # ------------------------------------------------------------------
+    # Dimensions
+    # ------------------------------------------------------------------
+    @property
+    def num_stations(self) -> int:
+        return self.inflow.shape[1]
+
+    @property
+    def num_slots(self) -> int:
+        return self.inflow.shape[0]
+
+    @property
+    def slots_per_day(self) -> int:
+        return self.config.slots_per_day
+
+    @property
+    def num_days(self) -> int:
+        return self.num_slots // self.slots_per_day
+
+    def slot_of_day(self, t: int) -> int:
+        """Time-of-day index of slot ``t`` (0 .. slots_per_day-1)."""
+        return t % self.slots_per_day
+
+    @property
+    def min_history(self) -> int:
+        """Earliest ``t`` with full short- and long-term windows."""
+        return max(self.config.short_window, self.config.long_days * self.slots_per_day)
+
+    # ------------------------------------------------------------------
+    # Splits
+    # ------------------------------------------------------------------
+    def split_indices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Day-aligned (train, val, test) prediction-time indices.
+
+        The paper splits by *days*: first 70% of days train, next 10%
+        validate, the rest test. Indices earlier than :attr:`min_history`
+        are excluded because their windows would be incomplete.
+        """
+        # At least one day per split, so tiny test datasets remain usable.
+        train_days = max(1, int(self.num_days * self.config.train_fraction))
+        val_days = max(1, int(self.num_days * self.config.val_fraction))
+        if train_days + val_days >= self.num_days:
+            raise ValueError(
+                f"dataset with {self.num_days} days cannot be split "
+                f"{self.config.train_fraction}/{self.config.val_fraction}/rest"
+            )
+        spd = self.slots_per_day
+        all_t = np.arange(self.min_history, self.num_slots)
+        day_of = all_t // spd
+        train = all_t[day_of < train_days]
+        val = all_t[(day_of >= train_days) & (day_of < train_days + val_days)]
+        test = all_t[day_of >= train_days + val_days]
+        if len(train) == 0:
+            raise ValueError(
+                "no training indices: history windows consume the whole training span; "
+                "use more days or smaller windows"
+            )
+        return train, val, test
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, t: int) -> FlowSample:
+        """Assemble the model input for prediction time ``t``."""
+        if not self.min_history <= t < self.num_slots:
+            raise IndexError(
+                f"t={t} outside the sampleable range "
+                f"[{self.min_history}, {self.num_slots})"
+            )
+        k = self.config.short_window
+        spd = self.slots_per_day
+        # Long-term: same slot-of-day in the previous d days, oldest first
+        # (paper's {I^{t-d*day}, ..., I^{t-1*day}}).
+        long_ts = [t - day * spd for day in range(self.config.long_days, 0, -1)]
+        return FlowSample(
+            t=t,
+            short_inflow=self.inflow[t - k : t],
+            short_outflow=self.outflow[t - k : t],
+            long_inflow=self.inflow[long_ts],
+            long_outflow=self.outflow[long_ts],
+            target_demand=self.demand[t],
+            target_supply=self.supply[t],
+        )
+
+    # ------------------------------------------------------------------
+    # Normalization (fitted lazily on the training split)
+    # ------------------------------------------------------------------
+    def _fit_normalizers(self) -> None:
+        train, _, _ = self.split_indices()
+        self._demand_normalizer = MinMaxNormalizer().fit(self.demand[train])
+        self._supply_normalizer = MinMaxNormalizer().fit(self.supply[train])
+        train_flow_max = max(
+            float(self.inflow[: train[-1] + 1].max()),
+            float(self.outflow[: train[-1] + 1].max()),
+        )
+        self._flow_scale = train_flow_max if train_flow_max > 0 else 1.0
+
+    @property
+    def demand_normalizer(self) -> MinMaxNormalizer:
+        if self._demand_normalizer is None:
+            self._fit_normalizers()
+        return self._demand_normalizer
+
+    @property
+    def supply_normalizer(self) -> MinMaxNormalizer:
+        if self._supply_normalizer is None:
+            self._fit_normalizers()
+        return self._supply_normalizer
+
+    @property
+    def flow_scale(self) -> float:
+        """Scale for flow-matrix inputs (max training flow count)."""
+        if self._flow_scale is None:
+            self._fit_normalizers()
+        return self._flow_scale
+
+    def __repr__(self) -> str:
+        return (
+            f"BikeShareDataset(name={self.name!r}, stations={self.num_stations}, "
+            f"days={self.num_days}, slots_per_day={self.slots_per_day})"
+        )

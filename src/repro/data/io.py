@@ -1,0 +1,100 @@
+"""CSV import/export of trip records and stations.
+
+The column layout mirrors the public Divvy/Metro exports the paper uses
+(trip id, start/end time, origin/destination station id and name), so a
+user with the real CSVs can feed them straight into the same pipeline.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.records import TripRecord
+from repro.data.stations import Station, StationRegistry
+
+TRIP_FIELDS = ["trip_id", "start_time", "end_time", "origin", "destination"]
+STATION_FIELDS = ["station_id", "longitude", "latitude", "name"]
+
+
+def write_trips_csv(trips: list[TripRecord], path: str | Path) -> None:
+    """Write trip records to CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TRIP_FIELDS)
+        for trip in trips:
+            writer.writerow(
+                [trip.trip_id, trip.start_time, trip.end_time, trip.origin, trip.destination]
+            )
+
+
+def read_trips_csv(path: str | Path) -> list[TripRecord]:
+    """Read trip records from CSV.
+
+    Missing/blank station fields become id ``-1`` (flagged later by the
+    cleaning rules as "unknown station") rather than raising — real
+    exports contain such rows and the paper's pipeline filters them.
+    """
+    path = Path(path)
+    trips: list[TripRecord] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(TRIP_FIELDS) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"trip CSV missing columns: {sorted(missing)}")
+        for row in reader:
+            trips.append(
+                TripRecord(
+                    trip_id=int(row["trip_id"]),
+                    origin=_station_field(row["origin"]),
+                    destination=_station_field(row["destination"]),
+                    start_time=float(row["start_time"]),
+                    end_time=float(row["end_time"]),
+                )
+            )
+    return trips
+
+
+def write_stations_csv(registry: StationRegistry, path: str | Path) -> None:
+    """Write the station registry to CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(STATION_FIELDS)
+        for station in registry:
+            writer.writerow(
+                [station.station_id, station.longitude, station.latitude, station.name]
+            )
+
+
+def read_stations_csv(path: str | Path) -> StationRegistry:
+    """Read stations from CSV, remapping ids to the contiguous 0..n-1."""
+    path = Path(path)
+    stations: list[Station] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(STATION_FIELDS) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"station CSV missing columns: {sorted(missing)}")
+        for row in reader:
+            stations.append(
+                Station(
+                    station_id=int(row["station_id"]),
+                    longitude=float(row["longitude"]),
+                    latitude=float(row["latitude"]),
+                    name=row.get("name", ""),
+                )
+            )
+    return StationRegistry.from_stations(stations)
+
+
+def _station_field(raw: str) -> int:
+    """Parse a station id; blank or non-numeric means unknown (-1)."""
+    raw = raw.strip()
+    if not raw:
+        return -1
+    try:
+        return int(raw)
+    except ValueError:
+        return -1

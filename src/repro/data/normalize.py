@@ -1,0 +1,57 @@
+"""Min-Max normalization (paper Sec. VII-A).
+
+The paper rescales demand and supply to ``[0, 1]`` before training and
+inverts the scaling before computing metrics. The scaler is fitted on
+training data only, to avoid test-set leakage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinMaxNormalizer:
+    """Affine map of an array onto ``[0, 1]`` with exact inversion.
+
+    Degenerate case: if the fitted data is constant (``max == min``) the
+    transform maps everything to 0 and the inverse restores the constant.
+    """
+
+    def __init__(self) -> None:
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.minimum is not None
+
+    def fit(self, values: np.ndarray) -> "MinMaxNormalizer":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit a normalizer on an empty array")
+        self.minimum = float(values.min())
+        self.maximum = float(values.max())
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        values = np.asarray(values, dtype=np.float64)
+        span = self.maximum - self.minimum
+        if span == 0.0:
+            return np.zeros_like(values)
+        return (values - self.minimum) / span
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        values = np.asarray(values, dtype=np.float64)
+        span = self.maximum - self.minimum
+        if span == 0.0:
+            return np.full_like(values, self.minimum)
+        return values * span + self.minimum
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError("normalizer used before fit()")

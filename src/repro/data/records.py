@@ -1,0 +1,53 @@
+"""Trip records — the raw unit of bike-share data (paper Sec. III-A).
+
+A trip is ``{rid, s_o, s_d, t_s, t_e}``: trip id, origin station,
+destination station, start (checkout) time and end (return) time. Times
+are seconds since the start of the observation window, which keeps the
+library independent of any calendar/timezone handling while preserving
+everything the model consumes (slot index, time-of-day, day-of-week).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SECONDS_PER_DAY = 86_400
+MAX_TRIP_SECONDS = 24 * 3600  # paper: trips longer than 24h are abnormal
+
+
+@dataclass(frozen=True, slots=True)
+class TripRecord:
+    """One bike trip.
+
+    Attributes
+    ----------
+    trip_id:
+        Unique identifier within a dataset.
+    origin:
+        Station id the bike was checked out from (``s_o``).
+    destination:
+        Station id the bike was returned to (``s_d``).
+    start_time:
+        Checkout time, seconds since the window start (``t_s``).
+    end_time:
+        Return time, seconds since the window start (``t_e``).
+    """
+
+    trip_id: int
+    origin: int
+    destination: int
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        """Trip duration in seconds (may be negative for dirty records)."""
+        return self.end_time - self.start_time
+
+    def start_slot(self, slot_seconds: float) -> int:
+        """Index of the time slot the trip starts in."""
+        return int(self.start_time // slot_seconds)
+
+    def end_slot(self, slot_seconds: float) -> int:
+        """Index of the time slot the trip ends in."""
+        return int(self.end_time // slot_seconds)

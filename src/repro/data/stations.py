@@ -1,0 +1,117 @@
+"""Stations and the station registry.
+
+The paper defines a station as ``s_i = (lon_i, lat_i)``; the case study
+(Sec. VIII) additionally needs "the ten nearest stations, ordered by
+distance", which :meth:`StationRegistry.nearest` provides via great-
+circle (haversine) distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, slots=True)
+class Station:
+    """A docked bike station with an id, coordinates and optional name."""
+
+    station_id: int
+    longitude: float
+    latitude: float
+    name: str = ""
+
+
+def haversine_km(
+    lon1: float | np.ndarray,
+    lat1: float | np.ndarray,
+    lon2: float | np.ndarray,
+    lat2: float | np.ndarray,
+) -> float | np.ndarray:
+    """Great-circle distance in kilometres between coordinate pairs."""
+    lon1, lat1, lon2, lat2 = map(np.radians, (lon1, lat1, lon2, lat2))
+    dlon = lon2 - lon1
+    dlat = lat2 - lat1
+    a = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(a))
+
+
+class StationRegistry:
+    """Immutable, index-aligned collection of stations.
+
+    Station ids must be the contiguous range ``0..n-1`` so that the id
+    doubles as the row/column index of the flow matrices. Use
+    :meth:`from_stations` to remap arbitrary ids.
+    """
+
+    def __init__(self, stations: list[Station]) -> None:
+        if not stations:
+            raise ValueError("a registry needs at least one station")
+        ids = [s.station_id for s in stations]
+        if sorted(ids) != list(range(len(stations))):
+            raise ValueError(
+                "station ids must be the contiguous range 0..n-1 "
+                "(use StationRegistry.from_stations to remap)"
+            )
+        self._stations = sorted(stations, key=lambda s: s.station_id)
+        self._lons = np.array([s.longitude for s in self._stations])
+        self._lats = np.array([s.latitude for s in self._stations])
+        self._distance_cache: np.ndarray | None = None
+
+    @classmethod
+    def from_stations(cls, stations: list[Station]) -> "StationRegistry":
+        """Build a registry remapping arbitrary station ids to 0..n-1.
+
+        The mapping preserves the sorted order of the original ids, as a
+        real-data loader would.
+        """
+        remapped = [
+            Station(new_id, s.longitude, s.latitude, s.name)
+            for new_id, s in enumerate(sorted(stations, key=lambda s: s.station_id))
+        ]
+        return cls(remapped)
+
+    def __len__(self) -> int:
+        return len(self._stations)
+
+    def __getitem__(self, station_id: int) -> Station:
+        return self._stations[station_id]
+
+    def __iter__(self):
+        return iter(self._stations)
+
+    @property
+    def longitudes(self) -> np.ndarray:
+        return self._lons
+
+    @property
+    def latitudes(self) -> np.ndarray:
+        return self._lats
+
+    def distance_matrix(self) -> np.ndarray:
+        """Pairwise haversine distances (km), cached after first call."""
+        if self._distance_cache is None:
+            lon = self._lons
+            lat = self._lats
+            self._distance_cache = haversine_km(
+                lon[:, None], lat[:, None], lon[None, :], lat[None, :]
+            )
+        return self._distance_cache
+
+    def nearest(self, station_id: int, count: int = 10) -> list[int]:
+        """Ids of the ``count`` nearest stations, closest first.
+
+        The station itself is excluded — matching the case study's
+        "ten nearest stations" axis in Figs. 10-12.
+        """
+        if not 0 <= station_id < len(self):
+            raise IndexError(f"station id {station_id} out of range")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        distances = self.distance_matrix()[station_id].copy()
+        distances[station_id] = np.inf
+        order = np.argsort(distances, kind="stable")
+        return [int(i) for i in order[: min(count, len(self) - 1)]]

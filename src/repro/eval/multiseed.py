@@ -1,0 +1,57 @@
+"""Multi-seed evaluation: mean ± std over repeated runs.
+
+The paper reports Table I/II entries as ``mean ± std`` over runs. This
+helper repeats a (train, evaluate) closure across seeds and aggregates,
+so benchmark users can reproduce the error bars when they have the
+compute budget (the bundled benchmarks default to one seed for CPU
+friendliness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.eval.evaluation import EvalResult
+
+
+@dataclass(frozen=True, slots=True)
+class SeedSweepResult:
+    """Aggregate of per-seed evaluation results."""
+
+    rmse_mean: float
+    rmse_std: float
+    mae_mean: float
+    mae_std: float
+    per_seed: tuple[EvalResult, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"RMSE={self.rmse_mean:.3f}±{self.rmse_std:.3f} "
+            f"MAE={self.mae_mean:.3f}±{self.mae_std:.3f} "
+            f"({len(self.per_seed)} seeds)"
+        )
+
+
+def evaluate_over_seeds(
+    run: Callable[[int], EvalResult], seeds: Sequence[int]
+) -> SeedSweepResult:
+    """Run ``run(seed)`` per seed and aggregate RMSE/MAE.
+
+    ``run`` owns the whole pipeline for one seed (build, train,
+    evaluate) and returns an :class:`EvalResult`.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = tuple(run(int(seed)) for seed in seeds)
+    rmses = np.array([r.rmse for r in results])
+    maes = np.array([r.mae for r in results])
+    return SeedSweepResult(
+        rmse_mean=float(rmses.mean()),
+        rmse_std=float(rmses.std()),
+        mae_mean=float(maes.mean()),
+        mae_std=float(maes.std()),
+        per_seed=results,
+    )

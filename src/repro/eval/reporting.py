@@ -1,0 +1,61 @@
+"""Plain-text experiment reports (measured-vs-paper tables).
+
+Used by the benchmark harness to print each regenerated table/figure in
+a terminal-friendly layout; kept in the library so downstream users can
+produce the same reports for their own cities.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.eval.evaluation import EvalResult
+
+
+def comparison_table(
+    title: str,
+    rows: Sequence[tuple[str, EvalResult, EvalResult]],
+    paper: Mapping[str, tuple[float, float, float, float]],
+    city_labels: tuple[str, str] = ("Chi", "LA"),
+) -> str:
+    """Two-city RMSE/MAE table with the paper's numbers interleaved.
+
+    ``rows`` holds ``(method, first_city_result, second_city_result)``;
+    ``paper`` maps method → (c1 RMSE, c1 MAE, c2 RMSE, c2 MAE). Methods
+    missing from ``paper`` render as ``nan``.
+    """
+    first, second = city_labels
+    line = "-" * 98
+    out = [line, title, line]
+    out.append(
+        f"{'Method':<12} | {first + ' RMSE':>8} {'(paper)':>8} | {first + ' MAE':>8} {'(paper)':>8} "
+        f"| {second + ' RMSE':>8} {'(paper)':>8} | {second + ' MAE':>8} {'(paper)':>8}"
+    )
+    out.append(line)
+    for name, one, two in rows:
+        p = paper.get(name, (float("nan"),) * 4)
+        out.append(
+            f"{name:<12} | {one.rmse:>8.3f} {p[0]:>8.2f} | {one.mae:>8.3f} {p[1]:>8.2f} "
+            f"| {two.rmse:>8.3f} {p[2]:>8.2f} | {two.mae:>8.3f} {p[3]:>8.2f}"
+        )
+    out.append(line)
+    return "\n".join(out)
+
+
+def series_table(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    measured: Mapping[str, Sequence[float]],
+    paper: Mapping[str, Sequence[float]] | None = None,
+) -> str:
+    """One row per series, one column per sweep value (Figs. 5-9 style)."""
+    line = "-" * (20 + 12 * len(xs))
+    out = [line, title, line]
+    out.append(f"{x_label:<20}" + "".join(f"{x:>12}" for x in xs))
+    for series, values in measured.items():
+        out.append(f"{series:<20}" + "".join(f"{v:>12.3f}" for v in values))
+    for series, values in (paper or {}).items():
+        out.append(f"{series + ' (paper)':<20}" + "".join(f"{v:>12.2f}" for v in values))
+    out.append(line)
+    return "\n".join(out)

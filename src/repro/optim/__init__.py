@@ -1,0 +1,15 @@
+"""Optimizers and training utilities (SGD, Adam, grad clipping, LR decay)."""
+
+from repro.optim.optimizer import Optimizer, clip_grad_norm
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.scheduler import StepLR, ReduceOnPlateau
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "ReduceOnPlateau",
+    "clip_grad_norm",
+]

@@ -1,0 +1,62 @@
+"""Learning-rate schedules driven by epoch count or validation loss."""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+
+
+class StepLR:
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+
+class ReduceOnPlateau:
+    """Halve the LR when the monitored metric stops improving.
+
+    Used by the Trainer as a pragmatic stand-in for hand-tuned LR drops;
+    ``patience`` epochs without a ``min_delta`` improvement trigger a cut.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 5,
+        min_delta: float = 1e-4,
+        min_lr: float = 1e-6,
+    ) -> None:
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_delta = min_delta
+        self.min_lr = min_lr
+        self._best = float("inf")
+        self._bad_epochs = 0
+
+    def step(self, metric: float) -> None:
+        if metric < self._best - self.min_delta:
+            self._best = metric
+            self._bad_epochs = 0
+            return
+        self._bad_epochs += 1
+        if self._bad_epochs >= self.patience:
+            self.optimizer.lr = max(self.optimizer.lr * self.factor, self.min_lr)
+            self._bad_epochs = 0

@@ -1,0 +1,22 @@
+"""Bike rebalancing on top of demand/supply predictions.
+
+The paper's motivation: "bikes can be dispatched in advance to meet the
+demand and supply". This subpackage turns a prediction horizon into a
+dispatch plan — which stations to take bikes from, which to deliver to,
+and in what quantities — with transport cost weighted by inter-station
+distance.
+"""
+
+from repro.rebalance.planner import (
+    RebalanceMove,
+    RebalancePlan,
+    forecast_shortages,
+    plan_rebalancing,
+)
+
+__all__ = [
+    "RebalanceMove",
+    "RebalancePlan",
+    "forecast_shortages",
+    "plan_rebalancing",
+]

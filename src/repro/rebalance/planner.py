@@ -1,0 +1,141 @@
+"""Dispatch planning from demand/supply forecasts.
+
+Given per-station predicted *net outflow* over an upcoming window
+(demand − supply, positive = the station will bleed bikes), the planner
+matches surplus stations to deficit stations with a greedy
+nearest-source rule: each deficit station, most-starved first, pulls
+bikes from the closest stations that have surplus. Greedy
+nearest-source is the standard field heuristic — trucks serve the worst
+shortage from the nearest pickup — and is within a small factor of the
+optimal transport cost at city scales (tens of stations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import BikeShareDataset
+from repro.eval.evaluation import Predictor
+
+
+@dataclass(frozen=True, slots=True)
+class RebalanceMove:
+    """Move ``bikes`` from ``source`` to ``destination`` (ids)."""
+
+    source: int
+    destination: int
+    bikes: int
+    distance_km: float
+
+
+@dataclass(frozen=True, slots=True)
+class RebalancePlan:
+    """A set of moves plus the residual unmet shortage."""
+
+    moves: tuple[RebalanceMove, ...]
+    unmet_shortage: float  # bikes no surplus could cover
+    total_bikes_moved: int
+    total_bike_km: float
+
+    def __str__(self) -> str:
+        return (
+            f"RebalancePlan({len(self.moves)} moves, "
+            f"{self.total_bikes_moved} bikes, {self.total_bike_km:.1f} bike-km, "
+            f"unmet={self.unmet_shortage:.1f})"
+        )
+
+
+def forecast_shortages(
+    predictor: Predictor, dataset: BikeShareDataset, times: np.ndarray
+) -> np.ndarray:
+    """Predicted net outflow per station over ``times`` (sum of slots).
+
+    Positive entries forecast a shortage (more checkouts than returns);
+    negative entries forecast accumulation.
+    """
+    times = np.asarray(times)
+    if times.size == 0:
+        raise ValueError("need at least one forecast slot")
+    net = np.zeros(dataset.num_stations)
+    for t in times:
+        demand, supply = predictor.predict(int(t))
+        net += np.asarray(demand) - np.asarray(supply)
+    return net
+
+
+def plan_rebalancing(
+    net_outflow: np.ndarray,
+    distances_km: np.ndarray,
+    min_move: int = 1,
+    capacity_per_move: int | None = None,
+) -> RebalancePlan:
+    """Match predicted surpluses to deficits, nearest source first.
+
+    Parameters
+    ----------
+    net_outflow:
+        Per-station predicted net outflow; positive = needs bikes.
+    distances_km:
+        Pairwise station distances, ``(n, n)``.
+    min_move:
+        Smallest worthwhile transfer (fractional predictions below this
+        are left unserved rather than dispatching a truck for half a
+        bike).
+    capacity_per_move:
+        Optional cap on bikes per (source, destination) transfer; larger
+        requirements split into several moves.
+    """
+    net_outflow = np.asarray(net_outflow, dtype=np.float64)
+    distances_km = np.asarray(distances_km, dtype=np.float64)
+    n = len(net_outflow)
+    if distances_km.shape != (n, n):
+        raise ValueError(
+            f"distance matrix {distances_km.shape} does not match {n} stations"
+        )
+    if min_move < 1:
+        raise ValueError(f"min_move must be >= 1, got {min_move}")
+
+    deficits = {i: float(net_outflow[i]) for i in range(n) if net_outflow[i] >= min_move}
+    surpluses = {
+        i: float(-net_outflow[i]) for i in range(n) if -net_outflow[i] >= min_move
+    }
+
+    moves: list[RebalanceMove] = []
+    # Serve the worst shortages first.
+    for station in sorted(deficits, key=deficits.get, reverse=True):
+        need = deficits[station]
+        # Pull from nearest surplus stations until satisfied.
+        for source in sorted(surpluses, key=lambda s: distances_km[station, s]):
+            if need < min_move:
+                break
+            # A capped transfer may need several trips from one source.
+            while need >= min_move and surpluses.get(source, 0.0) >= min_move:
+                available = surpluses[source]
+                bikes = int(min(need, available))
+                if capacity_per_move is not None:
+                    bikes = min(bikes, capacity_per_move)
+                if bikes < min_move:
+                    break
+                moves.append(
+                    RebalanceMove(
+                        source=source,
+                        destination=station,
+                        bikes=bikes,
+                        distance_km=float(distances_km[station, source]),
+                    )
+                )
+                surpluses[source] = available - bikes
+                need -= bikes
+        deficits[station] = need
+
+    unmet = sum(v for v in deficits.values() if v > 0)
+    total_bikes = sum(m.bikes for m in moves)
+    total_km = sum(m.bikes * m.distance_km for m in moves)
+    return RebalancePlan(
+        moves=tuple(moves),
+        unmet_shortage=float(unmet),
+        total_bikes_moved=total_bikes,
+        total_bike_km=float(total_km),
+    )

@@ -1,0 +1,451 @@
+"""Differentiable primitive operations for :class:`repro.tensor.Tensor`.
+
+Each op computes its forward result with numpy and returns a tensor whose
+``_backward`` closure maps the upstream gradient to per-parent gradients.
+All binary ops support full numpy broadcasting; :func:`unbroadcast`
+reduces gradients back to each operand's original shape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def _wrap(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Broadcasting either prepends dimensions or stretches size-1 axes; the
+    correct gradient for the smaller operand sums over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over stretched size-1 axes.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def add(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    data = a.data + b.data
+
+    def backward(grad):
+        return (unbroadcast(grad, a.shape), unbroadcast(grad, b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    data = a.data - b.data
+
+    def backward(grad):
+        return (unbroadcast(grad, a.shape), unbroadcast(-grad, b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    data = a.data * b.data
+
+    def backward(grad):
+        return (
+            unbroadcast(grad * b.data, a.shape),
+            unbroadcast(grad * a.data, b.shape),
+        )
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    data = a.data / b.data
+
+    def backward(grad):
+        return (
+            unbroadcast(grad / b.data, a.shape),
+            unbroadcast(-grad * a.data / (b.data**2), b.shape),
+        )
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def neg(a) -> Tensor:
+    a = _wrap(a)
+
+    def backward(grad):
+        return (-grad,)
+
+    return Tensor._make(-a.data, (a,), backward)
+
+
+def pow(a, exponent: float) -> Tensor:
+    """Elementwise power with a constant (non-tensor) exponent."""
+    a = _wrap(a)
+    data = a.data**exponent
+
+    def backward(grad):
+        return (grad * exponent * a.data ** (exponent - 1),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product supporting 1-D and batched operands, as ``np.matmul``."""
+    a, b = _wrap(a), _wrap(b)
+    data = a.data @ b.data
+
+    def backward(grad):
+        a_data, b_data = a.data, b.data
+        if a_data.ndim == 1 and b_data.ndim == 1:
+            # Inner product: grad is scalar.
+            return (grad * b_data, grad * a_data)
+        if a_data.ndim == 1:
+            # (k,) @ (..., k, n) -> (..., n)
+            grad_a = (grad[..., None, :] * b_data).sum(axis=-1)
+            grad_a = unbroadcast(grad_a, a_data.shape)
+            grad_b = unbroadcast(a_data[..., :, None] * grad[..., None, :], b_data.shape)
+            return (grad_a, grad_b)
+        if b_data.ndim == 1:
+            # (..., m, k) @ (k,) -> (..., m)
+            grad_a = unbroadcast(grad[..., :, None] * b_data, a_data.shape)
+            grad_b = unbroadcast((grad[..., :, None] * a_data).sum(axis=-2), b_data.shape)
+            return (grad_a, grad_b)
+        grad_a = grad @ np.swapaxes(b_data, -1, -2)
+        grad_b = np.swapaxes(a_data, -1, -2) @ grad
+        return (unbroadcast(grad_a, a_data.shape), unbroadcast(grad_b, b_data.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a, shape: tuple[int, ...]) -> Tensor:
+    a = _wrap(a)
+    original = a.data.shape
+
+    def backward(grad):
+        return (grad.reshape(original),)
+
+    return Tensor._make(a.data.reshape(shape), (a,), backward)
+
+
+def transpose(a, axes: Sequence[int] | None = None) -> Tensor:
+    a = _wrap(a)
+    data = np.transpose(a.data, axes)
+    inverse = None if axes is None else np.argsort(axes)
+
+    def backward(grad):
+        return (np.transpose(grad, inverse),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def getitem(a, index) -> Tensor:
+    """Slicing/indexing. Backward scatters the gradient into a zero array.
+
+    ``np.add.at`` is used so repeated indices (fancy indexing) accumulate
+    correctly instead of overwriting.
+    """
+    a = _wrap(a)
+    data = a.data[index]
+
+    def backward(grad):
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def concat(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [_wrap(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        pieces = []
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            pieces.append(grad[tuple(slicer)])
+        return tuple(pieces)
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [_wrap(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        return tuple(np.take(grad, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = _wrap(a)
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        if axis is None:
+            return (np.broadcast_to(grad, a.shape).copy(),)
+        g = grad
+        if not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (np.broadcast_to(g, a.shape).copy(),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = _wrap(a)
+    data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [a.data.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
+    )
+
+    def backward(grad):
+        if axis is None:
+            return (np.broadcast_to(grad / count, a.shape).copy(),)
+        g = grad
+        if not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (np.broadcast_to(g / count, a.shape).copy(),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def max(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Max reduction. Ties split the gradient equally among the maxima."""
+    a = _wrap(a)
+    data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        expanded = data if axis is None or keepdims else np.expand_dims(data, axis=axis)
+        mask = (a.data == expanded).astype(np.float64)
+        mask /= mask.sum(axis=axis, keepdims=True)
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (mask * g,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Elementwise nonlinearities
+# ----------------------------------------------------------------------
+def exp(a) -> Tensor:
+    a = _wrap(a)
+    data = np.exp(a.data)
+
+    def backward(grad):
+        return (grad * data,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def log(a) -> Tensor:
+    a = _wrap(a)
+
+    def backward(grad):
+        return (grad / a.data,)
+
+    return Tensor._make(np.log(a.data), (a,), backward)
+
+
+def sqrt(a) -> Tensor:
+    a = _wrap(a)
+    data = np.sqrt(a.data)
+
+    def backward(grad):
+        return (grad / (2.0 * data),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def abs(a) -> Tensor:
+    a = _wrap(a)
+
+    def backward(grad):
+        return (grad * np.sign(a.data),)
+
+    return Tensor._make(np.abs(a.data), (a,), backward)
+
+
+def clip(a, low: float | None = None, high: float | None = None) -> Tensor:
+    """Clamp values; gradient is passed through only inside the range."""
+    a = _wrap(a)
+    data = np.clip(a.data, low, high)
+
+    def backward(grad):
+        mask = np.ones_like(a.data)
+        if low is not None:
+            mask *= a.data >= low
+        if high is not None:
+            mask *= a.data <= high
+        return (grad * mask,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def relu(a) -> Tensor:
+    a = _wrap(a)
+    mask = a.data > 0
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return Tensor._make(a.data * mask, (a,), backward)
+
+
+def elu(a, alpha: float = 1.0) -> Tensor:
+    """ELU, the PCG attention activation (sigma_2 in the paper, Eq. 11)."""
+    a = _wrap(a)
+    positive = a.data > 0
+    data = np.where(positive, a.data, alpha * (np.exp(np.minimum(a.data, 0.0)) - 1.0))
+
+    def backward(grad):
+        return (grad * np.where(positive, 1.0, data + alpha),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    """Numerically stable logistic: exponentials only of non-positives."""
+    a = _wrap(a)
+    positive = a.data >= 0
+    exp_neg = np.exp(np.where(positive, -a.data, a.data))  # always <= 1
+    data = np.where(positive, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg))
+
+    def backward(grad):
+        return (grad * data * (1.0 - data),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def tanh(a) -> Tensor:
+    a = _wrap(a)
+    data = np.tanh(a.data)
+
+    def backward(grad):
+        return (grad * (1.0 - data**2),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    a = _wrap(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exped = np.exp(shifted)
+    data = exped / exped.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        inner = (grad * data).sum(axis=axis, keepdims=True)
+        return (data * (grad - inner),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def masked_softmax(a, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax restricted to positions where ``mask`` is truthy.
+
+    Masked positions get probability exactly 0 and receive no gradient.
+    Rows with an all-false mask produce an all-zero row (not NaN) so that
+    isolated graph nodes are handled gracefully.
+    """
+    a = _wrap(a)
+    mask = np.asarray(mask, dtype=bool)
+    big_negative = -1e30  # finite stand-in for -inf; exp underflows to 0
+    logits = np.where(mask, a.data, big_negative)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exped = np.exp(shifted) * mask
+    denom = exped.sum(axis=axis, keepdims=True)
+    safe_denom = np.where(denom > 0, denom, 1.0)
+    data = exped / safe_denom
+
+    def backward(grad):
+        inner = (grad * data).sum(axis=axis, keepdims=True)
+        return (data * (grad - inner),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Elementwise select; ``condition`` is a plain boolean array."""
+    a, b = _wrap(a), _wrap(b)
+    condition = np.asarray(condition, dtype=bool)
+    data = np.where(condition, a.data, b.data)
+
+    def backward(grad):
+        return (
+            unbroadcast(grad * condition, a.shape),
+            unbroadcast(grad * ~condition, b.shape),
+        )
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise max of two tensors; ties send gradient to the first."""
+    a, b = _wrap(a), _wrap(b)
+    take_a = a.data >= b.data
+
+    def backward(grad):
+        return (
+            unbroadcast(grad * take_a, a.shape),
+            unbroadcast(grad * ~take_a, b.shape),
+        )
+
+    return Tensor._make(np.maximum(a.data, b.data), (a, b), backward)
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise min of two tensors; ties send gradient to the first."""
+    a, b = _wrap(a), _wrap(b)
+    take_a = a.data <= b.data
+
+    def backward(grad):
+        return (
+            unbroadcast(grad * take_a, a.shape),
+            unbroadcast(grad * ~take_a, b.shape),
+        )
+
+    return Tensor._make(np.minimum(a.data, b.data), (a, b), backward)
+
+
+def dropout_mask(shape: tuple[int, ...], rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Inverted-dropout mask: zeros with probability ``rate``, else 1/(1-rate)."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    if rate == 0.0:
+        return np.ones(shape)
+    keep = rng.random(shape) >= rate
+    return keep / (1.0 - rate)

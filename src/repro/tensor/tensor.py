@@ -1,0 +1,355 @@
+"""The ``Tensor`` class: a numpy array with reverse-mode autodiff.
+
+Every differentiable operation returns a new ``Tensor`` holding a
+``_backward`` closure and references to its parent tensors. Calling
+:meth:`Tensor.backward` on a scalar result topologically sorts the graph
+and invokes the closures in reverse order, accumulating ``.grad`` on
+every tensor created with ``requires_grad=True``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+# Global switch mirroring torch.no_grad(): when False, no graph is recorded.
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph recording (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _as_array(value: "Tensor | np.ndarray | float | int | Sequence") -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A numpy-backed tensor that tracks gradients.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts. Stored as ``float64`` for
+        gradient-check accuracy (the models here are small enough that
+        double precision costs nothing).
+    requires_grad:
+        If True, ``backward`` accumulates this tensor's gradient into
+        ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: "np.ndarray | float | int | Sequence",
+        requires_grad: bool = False,
+        name: str | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.transpose(self)
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _raise_item()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op result wired into the graph (if grad is enabled)."""
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient. Defaults to 1 and is only optional for
+            scalar tensors, matching the usual framework convention.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without a gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+            )
+
+        order = _topological_order(self)
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate into .grad.
+                node._accumulate(node_grad)
+                continue
+            if node._backward is not None:
+                # Interior node: the closure pushes gradients to parents
+                # through the shared dict.
+                node._backward_dispatch(node_grad, grads)
+
+    def _backward_dispatch(self, grad: np.ndarray, grads: dict[int, np.ndarray]) -> None:
+        """Run the op's backward closure, accumulating into ``grads``."""
+        parent_grads = self._backward(grad)  # type: ignore[misc]
+        for parent, parent_grad in zip(self._parents, parent_grads):
+            if parent_grad is None or not parent.requires_grad:
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + parent_grad
+            else:
+                grads[key] = parent_grad
+
+    # ------------------------------------------------------------------
+    # Operator overloads (implemented in ops.py to keep this file lean)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from repro.tensor import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from repro.tensor import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other):
+        from repro.tensor import ops
+
+        return ops.sub(other, self)
+
+    def __mul__(self, other):
+        from repro.tensor import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from repro.tensor import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other):
+        from repro.tensor import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self):
+        from repro.tensor import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent: float):
+        from repro.tensor import ops
+
+        return ops.pow(self, exponent)
+
+    def __matmul__(self, other):
+        from repro.tensor import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index):
+        from repro.tensor import ops
+
+        return ops.getitem(self, index)
+
+    # Convenience method forms -----------------------------------------
+    def matmul(self, other):
+        from repro.tensor import ops
+
+        return ops.matmul(self, other)
+
+    def sum(self, axis=None, keepdims: bool = False):
+        from repro.tensor import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from repro.tensor import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False):
+        from repro.tensor import ops
+
+        return ops.max(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from repro.tensor import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, axes=None):
+        from repro.tensor import ops
+
+        return ops.transpose(self, axes)
+
+    def exp(self):
+        from repro.tensor import ops
+
+        return ops.exp(self)
+
+    def log(self):
+        from repro.tensor import ops
+
+        return ops.log(self)
+
+    def sqrt(self):
+        from repro.tensor import ops
+
+        return ops.sqrt(self)
+
+    def abs(self):
+        from repro.tensor import ops
+
+        return ops.abs(self)
+
+    def relu(self):
+        from repro.tensor import ops
+
+        return ops.relu(self)
+
+    def elu(self, alpha: float = 1.0):
+        from repro.tensor import ops
+
+        return ops.elu(self, alpha)
+
+    def sigmoid(self):
+        from repro.tensor import ops
+
+        return ops.sigmoid(self)
+
+    def tanh(self):
+        from repro.tensor import ops
+
+        return ops.tanh(self)
+
+    def softmax(self, axis: int = -1):
+        from repro.tensor import ops
+
+        return ops.softmax(self, axis=axis)
+
+    def clip(self, low: float | None = None, high: float | None = None):
+        from repro.tensor import ops
+
+        return ops.clip(self, low, high)
+
+
+def _topological_order(root: Tensor) -> list[Tensor]:
+    """Return nodes reachable from ``root`` in reverse topological order.
+
+    Iterative DFS — the graphs built by K-layer GNNs over hundreds of time
+    slots can exceed python's recursion limit.
+    """
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def _raise_item() -> float:
+    raise ValueError("item() requires a single-element tensor")

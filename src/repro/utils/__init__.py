@@ -1,0 +1,7 @@
+"""Shared utilities: seeding, timing, and lightweight logging."""
+
+from repro.utils.seeding import seeded_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.logging import get_logger
+
+__all__ = ["seeded_rng", "spawn_rngs", "Timer", "get_logger"]

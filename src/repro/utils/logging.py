@@ -1,0 +1,23 @@
+"""Project logger configuration.
+
+A thin wrapper over :mod:`logging` so library modules never call
+``basicConfig`` (which would hijack the host application's logging).
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a namespaced logger with a one-time stream handler."""
+    logger = logging.getLogger(f"repro.{name}")
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,28 @@
+"""Deterministic random number generation helpers.
+
+Every stochastic component in the repo (weight init, dropout, data
+synthesis, batching) takes an explicit ``numpy.random.Generator``. These
+helpers create and fan out generators so that experiment scripts are
+reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def seeded_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a generator from a seed (or fresh entropy when None)."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Children are seeded from the parent stream, so distinct components
+    (e.g. model init vs. dropout vs. batch shuffling) never share state.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

@@ -1,0 +1,37 @@
+"""Wall-clock timing for the efficiency experiments (paper Sec. VII-I)."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch accumulating over repeated sections.
+
+    >>> timer = Timer()
+    >>> with timer:
+    ...     pass
+    >>> timer.count
+    1
+    """
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is None:
+            raise RuntimeError("Timer exited without entering")
+        self.total += time.perf_counter() - self._start
+        self.count += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per timed section (0 if never used)."""
+        return self.total / self.count if self.count else 0.0

@@ -1,0 +1,162 @@
+"""Classical baselines: HA, ARIMA, GBRT components."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ArimaBaseline,
+    ArimaModel,
+    ArimaOrder,
+    GBRTBaseline,
+    GBRTConfig,
+    GradientBoostedTrees,
+    HistoricalAverage,
+    RegressionTree,
+)
+
+
+class TestHistoricalAverage:
+    def test_predicts_profile_mean(self, tiny_dataset):
+        ha = HistoricalAverage(tiny_dataset).fit()
+        train_idx, _, _ = tiny_dataset.split_indices()
+        spd = tiny_dataset.slots_per_day
+        t = int(train_idx[0])
+        slot = t % spd
+        same_slot = train_idx[train_idx % spd == slot]
+        expected = tiny_dataset.demand[same_slot].mean(axis=0)
+        demand, _ = ha.predict(t)
+        np.testing.assert_allclose(demand, expected)
+
+    def test_periodicity(self, tiny_dataset):
+        ha = HistoricalAverage(tiny_dataset).fit()
+        spd = tiny_dataset.slots_per_day
+        d1, s1 = ha.predict(spd * 8)
+        d2, s2 = ha.predict(spd * 9)
+        np.testing.assert_allclose(d1, d2)
+
+    def test_unfitted_rejected(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            HistoricalAverage(tiny_dataset).predict(0)
+
+
+class TestArimaModel:
+    def test_learns_ar1_process(self):
+        """Fit to a strongly AR(1) series; forecast must track it."""
+        rng = np.random.default_rng(0)
+        series = np.zeros(400)
+        for i in range(1, 400):
+            series[i] = 0.8 * series[i - 1] + rng.normal(0, 0.1)
+        model = ArimaModel(ArimaOrder(p=2, d=0, q=0)).fit(series)
+        prediction = model.forecast_next(series)
+        assert prediction == pytest.approx(0.8 * series[-1], abs=0.3)
+
+    def test_differencing_handles_trend(self):
+        series = np.arange(200, dtype=float)  # deterministic trend
+        model = ArimaModel(ArimaOrder(p=2, d=1, q=0)).fit(series)
+        prediction = model.forecast_next(series)
+        assert prediction == pytest.approx(200.0, abs=1.0)
+
+    def test_short_series_falls_back_to_mean(self):
+        model = ArimaModel(ArimaOrder()).fit(np.array([3.0, 3.0, 3.0]))
+        assert np.isfinite(model.forecast_next(np.array([3.0, 3.0, 3.0])))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            ArimaOrder(p=0)
+
+    def test_unfitted_forecast_rejected(self):
+        with pytest.raises(RuntimeError):
+            ArimaModel(ArimaOrder()).forecast_next(np.zeros(10))
+
+
+class TestArimaBaseline:
+    def test_predictions_nonnegative(self, tiny_dataset):
+        arima = ArimaBaseline(tiny_dataset).fit()
+        _, _, test_idx = tiny_dataset.split_indices()
+        demand, supply = arima.predict(int(test_idx[0]))
+        assert (demand >= 0).all() and (supply >= 0).all()
+
+    def test_shapes(self, tiny_dataset):
+        arima = ArimaBaseline(tiny_dataset).fit()
+        _, _, test_idx = tiny_dataset.split_indices()
+        demand, supply = arima.predict(int(test_idx[0]))
+        assert demand.shape == (tiny_dataset.num_stations,)
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self, rng):
+        x = rng.uniform(0, 1, size=(400, 1))
+        y = (x[:, 0] > 0.5).astype(float) * 10.0
+        tree = RegressionTree(max_depth=2, min_samples_leaf=5, rng=rng).fit(x, y)
+        pred = tree.predict(np.array([[0.25], [0.75]]))
+        assert pred[0] == pytest.approx(0.0, abs=0.5)
+        assert pred[1] == pytest.approx(10.0, abs=0.5)
+
+    def test_depth_zero_like_behavior(self, rng):
+        x = rng.uniform(0, 1, size=(50, 2))
+        y = rng.normal(size=50)
+        tree = RegressionTree(max_depth=1, min_samples_leaf=100, rng=rng).fit(x, y)
+        # min_samples_leaf too large to split -> constant prediction.
+        np.testing.assert_allclose(tree.predict(x), np.full(50, y.mean()))
+
+    def test_respects_min_samples_leaf(self, rng):
+        x = np.linspace(0, 1, 40).reshape(-1, 1)
+        y = (x[:, 0] > 0.05).astype(float)  # split would isolate 2 points
+        tree = RegressionTree(max_depth=3, min_samples_leaf=10, rng=rng).fit(x, y)
+        # The best valid split keeps >= 10 per side.
+        root = tree._root
+        if root.feature is not None:
+            left_count = (x[:, 0] <= root.threshold).sum()
+            assert left_count >= 10 and len(x) - left_count >= 10
+
+    def test_unfitted_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            RegressionTree(2, 2, rng).predict(np.zeros((1, 1)))
+
+
+class TestGradientBoosting:
+    def test_reduces_training_error_over_rounds(self, rng):
+        x = rng.uniform(-2, 2, size=(300, 2))
+        y = np.sin(x[:, 0]) + 0.5 * x[:, 1]
+        few = GradientBoostedTrees(GBRTConfig(num_trees=2), seed=0).fit(x, y)
+        many = GradientBoostedTrees(GBRTConfig(num_trees=60), seed=0).fit(x, y)
+        err_few = np.mean((few.predict(x) - y) ** 2)
+        err_many = np.mean((many.predict(x) - y) ** 2)
+        assert err_many < err_few
+
+    def test_learns_nonlinear_function(self, rng):
+        x = rng.uniform(-2, 2, size=(500, 1))
+        y = x[:, 0] ** 2
+        model = GradientBoostedTrees(GBRTConfig(num_trees=80, max_depth=3), seed=0)
+        model.fit(x, y)
+        pred = model.predict(np.array([[0.0], [1.5]]))
+        assert pred[0] == pytest.approx(0.0, abs=0.5)
+        assert pred[1] == pytest.approx(2.25, abs=0.7)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GBRTConfig(num_trees=0)
+        with pytest.raises(ValueError):
+            GBRTConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GBRTConfig(subsample=0.0)
+
+
+class TestGBRTBaseline:
+    def test_feature_recipe_width(self, tiny_dataset):
+        baseline = GBRTBaseline(tiny_dataset, GBRTConfig(recent_lags=4, daily_lags=2))
+        features = baseline._features_at(tiny_dataset.min_history)
+        # 2*(recent + daily) + slot-of-day column.
+        assert features.shape == (tiny_dataset.num_stations, 2 * (4 + 2) + 1)
+
+    def test_fit_predict(self, tiny_dataset):
+        config = GBRTConfig(num_trees=10, recent_lags=4, daily_lags=1)
+        baseline = GBRTBaseline(tiny_dataset, config).fit()
+        _, _, test_idx = tiny_dataset.split_indices()
+        demand, supply = baseline.predict(int(test_idx[0]))
+        assert demand.shape == (tiny_dataset.num_stations,)
+        assert (demand >= 0).all()
+
+    def test_unfitted_rejected(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            GBRTBaseline(tiny_dataset).predict(50)

@@ -1,0 +1,170 @@
+"""Deep baselines: shared interface, shapes, trainability, graph builders."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DEEP_BASELINES,
+    ASTGCNBaseline,
+    BaselineDims,
+    GBikeBaseline,
+    GCNNBaseline,
+    STSGCNBaseline,
+    build_block_adjacency,
+    correlation_adjacency,
+    distance_adjacency,
+    interaction_adjacency,
+    normalized_adjacency,
+)
+from repro.core import Trainer, TrainingConfig
+from repro.tensor import no_grad
+
+
+class TestBaselineDims:
+    def test_from_dataset_clamps_windows(self, tiny_dataset):
+        dims = BaselineDims.from_dataset(tiny_dataset, history=1000, daily=1000)
+        assert dims.history == tiny_dataset.config.short_window
+        assert dims.daily == tiny_dataset.config.long_days
+
+    def test_positive_scale(self, tiny_dataset):
+        assert BaselineDims.from_dataset(tiny_dataset).input_scale > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaselineDims(1, 4, 2, 1.0)
+        with pytest.raises(ValueError):
+            BaselineDims(4, 0, 2, 1.0)
+        with pytest.raises(ValueError):
+            BaselineDims(4, 4, 2, 0.0)
+
+
+class TestGraphBuilders:
+    def test_normalized_adjacency_symmetric(self, tiny_dataset):
+        a = normalized_adjacency(distance_adjacency(tiny_dataset))
+        np.testing.assert_allclose(a, a.T, atol=1e-12)
+
+    def test_normalized_adjacency_spectral_bound(self, tiny_dataset):
+        a = normalized_adjacency(distance_adjacency(tiny_dataset))
+        eigenvalues = np.linalg.eigvalsh(a)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_normalized_adjacency_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency(np.zeros((2, 3)))
+
+    def test_distance_adjacency_locality(self, tiny_dataset):
+        a = distance_adjacency(tiny_dataset)
+        d = tiny_dataset.registry.distance_matrix()
+        # Nonzero entries must correspond to smaller distances than the
+        # largest zeroed entry (threshold monotone in distance).
+        if (a > 0).any() and (a == 0).any():
+            off = ~np.eye(len(a), dtype=bool)
+            assert d[off][a[off] > 0].mean() <= d[off][a[off] == 0].mean()
+
+    def test_correlation_adjacency_bounded(self, tiny_dataset):
+        a = correlation_adjacency(tiny_dataset)
+        assert (a >= 0).all() and (a <= 1.0).all()
+        assert np.diag(a).sum() == 0
+
+    def test_interaction_adjacency_normalised(self, tiny_dataset):
+        a = interaction_adjacency(tiny_dataset)
+        assert a.max() <= 1.0
+        assert (a >= 0).all()
+
+    def test_block_adjacency_structure(self):
+        spatial = np.array([[0.0, 1.0], [1.0, 0.0]])
+        block = build_block_adjacency(spatial, window=3)
+        assert block.shape == (6, 6)
+        np.testing.assert_allclose(block[0:2, 0:2], spatial)  # diagonal block
+        np.testing.assert_allclose(block[0:2, 2:4], np.eye(2))  # temporal link
+        np.testing.assert_allclose(block[0:2, 4:6], np.zeros((2, 2)))  # 2 hops
+
+    def test_block_adjacency_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            build_block_adjacency(np.zeros((2, 2)), window=0)
+
+
+class TestDeepBaselineInterface:
+    @pytest.mark.parametrize("name", sorted(DEEP_BASELINES))
+    def test_forward_shapes(self, name, tiny_dataset):
+        model = DEEP_BASELINES[name](tiny_dataset, seed=0)
+        sample = tiny_dataset.sample(tiny_dataset.min_history)
+        demand, supply = model(sample)
+        n = tiny_dataset.num_stations
+        assert demand.shape == (n,)
+        assert supply.shape == (n,)
+        assert np.isfinite(demand.data).all()
+
+    @pytest.mark.parametrize("name", sorted(DEEP_BASELINES))
+    def test_gradients_flow(self, name, tiny_dataset):
+        model = DEEP_BASELINES[name](tiny_dataset, seed=0)
+        sample = tiny_dataset.sample(tiny_dataset.min_history)
+        demand, supply = model(sample)
+        (demand.sum() + supply.sum()).backward()
+        grads = [p.grad for p in model.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+    @pytest.mark.parametrize("name", ["MLP", "GCNN", "GBike"])
+    def test_one_epoch_reduces_loss(self, name, mini_dataset):
+        model = DEEP_BASELINES[name](mini_dataset, seed=0)
+        trainer = Trainer(
+            model, mini_dataset,
+            TrainingConfig(epochs=3, max_batches_per_epoch=3, seed=0, patience=10),
+        )
+        history = trainer.fit()
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    @pytest.mark.parametrize("name", sorted(DEEP_BASELINES))
+    def test_eval_deterministic(self, name, tiny_dataset):
+        model = DEEP_BASELINES[name](tiny_dataset, seed=0)
+        model.eval()
+        sample = tiny_dataset.sample(tiny_dataset.min_history)
+        with no_grad():
+            d1, _ = model(sample)
+            d2, _ = model(sample)
+        np.testing.assert_allclose(d1.data, d2.data)
+
+
+class TestGBikeLocalityPrior:
+    def test_dependency_decays_with_distance(self, tiny_dataset):
+        """GBike's dependency must correlate negatively with distance —
+        the locality prior STGNN-DJD's case study contrasts against."""
+        model = GBikeBaseline.from_dataset(tiny_dataset, seed=0, decay_km=0.5)
+        sample = tiny_dataset.sample(tiny_dataset.min_history)
+        alpha = model.dependency_matrix(sample)
+        d = tiny_dataset.registry.distance_matrix()
+        off = ~np.eye(len(d), dtype=bool)
+        corr = np.corrcoef(d[off], alpha[off])[0, 1]
+        assert corr < -0.2
+
+    def test_rows_sum_to_one(self, tiny_dataset):
+        model = GBikeBaseline.from_dataset(tiny_dataset, seed=0)
+        alpha = model.dependency_matrix(tiny_dataset.sample(tiny_dataset.min_history))
+        np.testing.assert_allclose(alpha.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_invalid_decay(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            GBikeBaseline.from_dataset(tiny_dataset, seed=0, decay_km=0.0)
+
+
+class TestSpecificArchitectures:
+    def test_astgcn_daily_branch_optional(self, tiny_dataset):
+        dims = BaselineDims.from_dataset(tiny_dataset, daily=0)
+        model = ASTGCNBaseline(dims, distance_adjacency(tiny_dataset),
+                               rng=np.random.default_rng(0))
+        assert model.daily_branch is None
+        demand, _ = model(tiny_dataset.sample(tiny_dataset.min_history))
+        assert np.isfinite(demand.data).all()
+
+    def test_stsgcn_window_validation(self, tiny_dataset):
+        dims = BaselineDims.from_dataset(tiny_dataset, history=2)
+        with pytest.raises(ValueError):
+            STSGCNBaseline(dims, distance_adjacency(tiny_dataset), window=5)
+
+    def test_gcnn_layer_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            GCNNBaseline(
+                BaselineDims.from_dataset(tiny_dataset),
+                distance_adjacency(tiny_dataset),
+                num_layers=0,
+            )

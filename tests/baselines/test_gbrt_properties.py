@@ -1,0 +1,66 @@
+"""Property-based tests of the tree/boosting substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import GBRTConfig, GradientBoostedTrees, RegressionTree
+
+
+@st.composite
+def regression_data(draw):
+    rows = draw(st.integers(20, 60))
+    cols = draw(st.integers(1, 4))
+    x = draw(
+        arrays(np.float64, (rows, cols),
+               elements=st.floats(-10, 10, allow_nan=False))
+    )
+    y = draw(
+        arrays(np.float64, (rows,),
+               elements=st.floats(-100, 100, allow_nan=False))
+    )
+    return x, y
+
+
+class TestTreeProperties:
+    @given(regression_data())
+    @settings(max_examples=30, deadline=None)
+    def test_predictions_within_target_range(self, data):
+        """Leaf values are means of target subsets, so predictions can
+        never escape [min(y), max(y)]."""
+        x, y = data
+        tree = RegressionTree(3, 2, np.random.default_rng(0)).fit(x, y)
+        predictions = tree.predict(x)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    @given(regression_data())
+    @settings(max_examples=30, deadline=None)
+    def test_training_sse_not_worse_than_constant(self, data):
+        """A fitted tree is at least as good as the constant mean."""
+        x, y = data
+        tree = RegressionTree(3, 2, np.random.default_rng(0)).fit(x, y)
+        tree_sse = np.sum((tree.predict(x) - y) ** 2)
+        const_sse = np.sum((y - y.mean()) ** 2)
+        assert tree_sse <= const_sse + 1e-6
+
+    @given(st.floats(-50, 50, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_targets_predicted_exactly(self, value):
+        x = np.linspace(0, 1, 30).reshape(-1, 1)
+        y = np.full(30, value)
+        tree = RegressionTree(3, 2, np.random.default_rng(0)).fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), y, atol=1e-9)
+
+
+class TestBoostingProperties:
+    @given(regression_data())
+    @settings(max_examples=10, deadline=None)
+    def test_boosting_never_diverges_on_training_data(self, data):
+        x, y = data
+        config = GBRTConfig(num_trees=10, subsample=1.0, feature_subsample=1.0)
+        model = GradientBoostedTrees(config, seed=0).fit(x, y)
+        sse = np.sum((model.predict(x) - y) ** 2)
+        const_sse = np.sum((y - y.mean()) ** 2)
+        assert sse <= const_sse * 1.01 + 1e-6

@@ -1,0 +1,25 @@
+"""Shared fixtures: small synthetic datasets and deterministic RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCityConfig, generate_city
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small but fully featured city (8 stations, 10 days, hourly slots)."""
+    return generate_city(SyntheticCityConfig.tiny(days=10, num_stations=8), seed=42)
+
+
+@pytest.fixture(scope="session")
+def mini_dataset():
+    """An even smaller city for expensive (training) tests."""
+    return generate_city(SyntheticCityConfig.tiny(days=8, num_stations=6), seed=7)

@@ -1,0 +1,84 @@
+"""Aggregators (Sec. V-B and the Figs. 5-6 comparison aggregators)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FlowAggregator, MaxAggregator, MeanAggregator, make_fcg_aggregator
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def setup(rng):
+    n, f = 5, 4
+    features = Tensor(rng.normal(size=(n, f)), requires_grad=True)
+    mask = rng.random((n, n)) > 0.5
+    np.fill_diagonal(mask, True)
+    weights = Tensor(rng.random((n, n)) * mask)
+    return features, weights, mask
+
+
+class TestFlowAggregator:
+    def test_is_weighted_sum(self, setup):
+        features, weights, mask = setup
+        out = FlowAggregator()(features, weights, mask)
+        np.testing.assert_allclose(out.data, weights.data @ features.data)
+
+    def test_zero_weights_give_zero(self, rng):
+        features = Tensor(rng.normal(size=(3, 2)))
+        out = FlowAggregator()(features, Tensor(np.zeros((3, 3))), np.eye(3, dtype=bool))
+        np.testing.assert_allclose(out.data, np.zeros((3, 2)))
+
+    def test_gradient_flows(self, setup):
+        features, weights, mask = setup
+        FlowAggregator()(features, weights, mask).sum().backward()
+        assert features.grad is not None
+
+
+class TestMeanAggregator:
+    def test_matches_naive_masked_mean(self, setup):
+        features, weights, mask = setup
+        out = MeanAggregator()(features, weights, mask)
+        for i in range(len(mask)):
+            neighbors = np.nonzero(mask[i])[0]
+            np.testing.assert_allclose(
+                out.data[i], features.data[neighbors].mean(axis=0), atol=1e-12
+            )
+
+    def test_isolated_node_zero(self, rng):
+        features = Tensor(rng.normal(size=(3, 2)))
+        mask = np.zeros((3, 3), dtype=bool)
+        out = MeanAggregator()(features, Tensor(np.zeros((3, 3))), mask)
+        np.testing.assert_allclose(out.data, np.zeros((3, 2)))
+
+
+class TestMaxAggregator:
+    def test_matches_naive_fc_then_max(self, setup, rng):
+        features, weights, mask = setup
+        agg = MaxAggregator(4, rng)
+        out = agg(features, weights, mask)
+        transformed = np.maximum(
+            features.data @ agg.transform.weight.data + agg.transform.bias.data, 0.0
+        )
+        for i in range(len(mask)):
+            neighbors = np.nonzero(mask[i])[0]
+            np.testing.assert_allclose(
+                out.data[i], transformed[neighbors].max(axis=0), atol=1e-9
+            )
+
+    def test_gradient_flows_to_transform(self, setup, rng):
+        features, weights, mask = setup
+        agg = MaxAggregator(4, rng)
+        agg(features, weights, mask).sum().backward()
+        assert agg.transform.weight.grad is not None
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("flow", FlowAggregator), ("mean", MeanAggregator), ("max", MaxAggregator),
+    ])
+    def test_makes_right_type(self, kind, cls, rng):
+        assert isinstance(make_fcg_aggregator(kind, 4, rng), cls)
+
+    def test_unknown_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make_fcg_aggregator("median", 4, rng)

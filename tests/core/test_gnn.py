@@ -1,0 +1,116 @@
+"""FlowGNN / PatternGNN (Algorithm 1 with custom aggregators)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FlowGNN, PatternGNN
+from repro.graphs import FlowConvolutedGraph, PatternCorrelationGraph
+from repro.nn import PairwiseAdditiveAttention
+from repro.tensor import Tensor
+
+
+def make_fcg(rng, n=5):
+    mask = rng.random((n, n)) > 0.4
+    np.fill_diagonal(mask, True)
+    weights = rng.random((n, n)) * mask
+    weights /= weights.sum(axis=1, keepdims=True)
+    return FlowConvolutedGraph(
+        node_features=Tensor(rng.normal(size=(n, n)), requires_grad=True),
+        weights=Tensor(weights),
+        mask=mask,
+    )
+
+
+def make_pcg(rng, n=5):
+    features = Tensor(rng.normal(size=(n, n)), requires_grad=True)
+    attention = PairwiseAdditiveAttention(n, rng)
+    return PatternCorrelationGraph(node_features=features, attention=attention(features))
+
+
+class TestFlowGNN:
+    def test_output_shape(self, rng):
+        gnn = FlowGNN(features=5, num_layers=2, rng=rng)
+        assert gnn(make_fcg(rng)).shape == (5, 5)
+
+    @pytest.mark.parametrize("layers", [1, 2, 3])
+    def test_layer_count_respected(self, rng, layers):
+        gnn = FlowGNN(5, layers, rng)
+        assert len(gnn.transforms) == layers
+
+    @pytest.mark.parametrize("aggregator", ["flow", "mean", "max"])
+    def test_all_aggregators_run(self, rng, aggregator):
+        gnn = FlowGNN(5, 2, rng, aggregator=aggregator)
+        out = gnn(make_fcg(rng))
+        assert out.shape == (5, 5)
+        assert np.isfinite(out.data).all()
+
+    def test_invalid_layers(self, rng):
+        with pytest.raises(ValueError):
+            FlowGNN(5, 0, rng)
+
+    def test_gradients_reach_graph_features(self, rng):
+        gnn = FlowGNN(5, 2, rng)
+        graph = make_fcg(rng)
+        gnn(graph).sum().backward()
+        assert graph.node_features.grad is not None
+
+    def test_propagation_reaches_two_hops(self, rng):
+        """With 2 layers, a node's embedding depends on 2-hop neighbors."""
+        n = 4
+        # Path graph 0 <- 1 <- 2 (weights row i aggregates from i+1).
+        mask = np.eye(n, dtype=bool)
+        weights = np.eye(n) * 0.5
+        for i in range(n - 1):
+            mask[i, i + 1] = True
+            weights[i, i + 1] = 0.5
+        features = rng.normal(size=(n, n))
+        graph1 = FlowConvolutedGraph(Tensor(features.copy()), Tensor(weights), mask)
+        perturbed = features.copy()
+        perturbed[2] += 10.0  # 2 hops from node 0
+        graph2 = FlowConvolutedGraph(Tensor(perturbed), Tensor(weights), mask)
+        gnn = FlowGNN(n, 2, rng, dropout=0.0)
+        gnn.eval()
+        out1, out2 = gnn(graph1).data, gnn(graph2).data
+        assert not np.allclose(out1[0], out2[0])
+
+
+class TestPatternGNN:
+    def test_output_shape(self, rng):
+        gnn = PatternGNN(5, num_layers=3, num_heads=2, rng=rng)
+        assert gnn(make_pcg(rng)).shape == (5, 5)
+
+    @pytest.mark.parametrize("heads", [1, 2, 4])
+    def test_head_counts(self, rng, heads):
+        gnn = PatternGNN(5, 2, heads, rng)
+        out = gnn(make_pcg(rng))
+        assert out.shape == (5, 5)
+
+    @pytest.mark.parametrize("aggregator", ["attention", "mean", "max"])
+    def test_all_aggregators_run(self, rng, aggregator):
+        gnn = PatternGNN(5, 2, 2, rng, aggregator=aggregator)
+        assert gnn(make_pcg(rng)).shape == (5, 5)
+
+    def test_unknown_aggregator_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PatternGNN(5, 2, 2, rng, aggregator="sum")
+
+    def test_attention_matrices_structure(self, rng):
+        gnn = PatternGNN(5, num_layers=3, num_heads=2, rng=rng)
+        matrices = gnn.attention_matrices(make_pcg(rng))
+        assert len(matrices) == 3  # layers
+        assert len(matrices[0]) == 2  # heads
+        for layer in matrices:
+            for head in layer:
+                np.testing.assert_allclose(head.data.sum(axis=1), np.ones(5))
+
+    def test_attention_matrices_require_attention_aggregator(self, rng):
+        gnn = PatternGNN(5, 2, 2, rng, aggregator="mean")
+        with pytest.raises(RuntimeError):
+            gnn.attention_matrices(make_pcg(rng))
+
+    def test_gradients_reach_all_parameters(self, rng):
+        gnn = PatternGNN(5, 2, 2, rng)
+        graph = make_pcg(rng)
+        (gnn(graph) * Tensor(rng.normal(size=(5, 5)))).sum().backward()
+        missing = [n for n, p in gnn.named_parameters() if p.grad is None]
+        assert not missing

@@ -1,0 +1,177 @@
+"""STGNN-DJD model: configuration, forward pass, ablations, introspection."""
+
+import numpy as np
+import pytest
+
+from repro.core import STGNNDJD, STGNNDJDConfig
+from repro.tensor import no_grad
+
+
+@pytest.fixture(scope="module")
+def model_and_sample(tiny_dataset):
+    model = STGNNDJD.from_dataset(tiny_dataset, seed=0)
+    sample = tiny_dataset.sample(tiny_dataset.min_history)
+    return model, sample
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = STGNNDJDConfig(num_stations=10)
+        assert config.short_window == 96
+        assert config.long_days == 7
+        assert config.fcg_layers == 2
+        assert config.pcg_layers == 3
+        assert config.num_heads == 4
+        assert config.dropout == 0.2
+
+    def test_needs_a_graph(self):
+        with pytest.raises(ValueError):
+            STGNNDJDConfig(num_stations=5, use_fcg=False, use_pcg=False)
+
+    def test_with_overrides(self):
+        config = STGNNDJDConfig(num_stations=5).with_overrides(num_heads=2)
+        assert config.num_heads == 2
+        assert config.num_stations == 5
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            STGNNDJDConfig(num_stations=1)
+        with pytest.raises(ValueError):
+            STGNNDJDConfig(num_stations=5, flow_scale=0.0)
+
+
+class TestForward:
+    def test_output_shapes(self, model_and_sample, tiny_dataset):
+        model, sample = model_and_sample
+        demand, supply = model(sample)
+        n = tiny_dataset.num_stations
+        assert demand.shape == (n,)
+        assert supply.shape == (n,)
+
+    def test_outputs_finite(self, model_and_sample):
+        model, sample = model_and_sample
+        demand, supply = model(sample)
+        assert np.isfinite(demand.data).all()
+        assert np.isfinite(supply.data).all()
+
+    def test_eval_deterministic(self, model_and_sample):
+        model, sample = model_and_sample
+        model.eval()
+        with no_grad():
+            d1, _ = model(sample)
+            d2, _ = model(sample)
+        model.train()
+        np.testing.assert_allclose(d1.data, d2.data)
+
+    def test_prediction_depends_on_input(self, tiny_dataset):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0).eval()
+        with no_grad():
+            d1, _ = model(tiny_dataset.sample(tiny_dataset.min_history))
+            d2, _ = model(tiny_dataset.sample(tiny_dataset.min_history + 5))
+        assert not np.allclose(d1.data, d2.data)
+
+    def test_gradients_reach_every_parameter(self, tiny_dataset):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0)
+        model.train()
+        sample = tiny_dataset.sample(tiny_dataset.min_history)
+        demand, supply = model(sample)
+        (demand.sum() + (supply * supply).sum()).backward()
+        missing = [
+            name for name, p in model.named_parameters()
+            if p.grad is None or np.abs(p.grad).sum() == 0
+        ]
+        # Dropout can zero a small number of paths; with rate 0.2 on an
+        # 8x8 feature map a fully dead parameter is overwhelmingly
+        # unlikely, so require none missing.
+        assert not missing, f"parameters without gradient: {missing}"
+
+
+class TestAblations:
+    def test_no_flow_conv(self, tiny_dataset):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0, use_flow_conv=False)
+        assert not hasattr(model, "flow_conv")
+        demand, _ = model(tiny_dataset.sample(tiny_dataset.min_history))
+        assert demand.shape == (tiny_dataset.num_stations,)
+
+    def test_no_fcg(self, tiny_dataset):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0, use_fcg=False)
+        demand, _ = model(tiny_dataset.sample(tiny_dataset.min_history))
+        assert demand.shape == (tiny_dataset.num_stations,)
+        assert model.predictor.in_features == tiny_dataset.num_stations
+
+    def test_no_pcg(self, tiny_dataset):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0, use_pcg=False)
+        demand, _ = model(tiny_dataset.sample(tiny_dataset.min_history))
+        assert demand.shape == (tiny_dataset.num_stations,)
+
+    def test_full_model_concatenates_both_embeddings(self, tiny_dataset):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0)
+        assert model.predictor.in_features == 2 * tiny_dataset.num_stations
+
+    @pytest.mark.parametrize("fcg_aggregator", ["flow", "mean", "max"])
+    def test_fcg_aggregator_variants(self, tiny_dataset, fcg_aggregator):
+        model = STGNNDJD.from_dataset(
+            tiny_dataset, seed=0, fcg_aggregator=fcg_aggregator
+        )
+        demand, _ = model(tiny_dataset.sample(tiny_dataset.min_history))
+        assert np.isfinite(demand.data).all()
+
+    @pytest.mark.parametrize("pcg_aggregator", ["attention", "mean", "max"])
+    def test_pcg_aggregator_variants(self, tiny_dataset, pcg_aggregator):
+        model = STGNNDJD.from_dataset(
+            tiny_dataset, seed=0, pcg_aggregator=pcg_aggregator
+        )
+        demand, _ = model(tiny_dataset.sample(tiny_dataset.min_history))
+        assert np.isfinite(demand.data).all()
+
+    @pytest.mark.parametrize("layers", [1, 2, 4])
+    def test_layer_sweeps(self, tiny_dataset, layers):
+        model = STGNNDJD.from_dataset(
+            tiny_dataset, seed=0, fcg_layers=layers, pcg_layers=layers
+        )
+        demand, _ = model(tiny_dataset.sample(tiny_dataset.min_history))
+        assert np.isfinite(demand.data).all()
+
+
+class TestIntrospection:
+    def test_dependency_matrix_rows_sum_to_one(self, model_and_sample, tiny_dataset):
+        model, sample = model_and_sample
+        alpha = model.dependency_matrix(sample)
+        n = tiny_dataset.num_stations
+        assert alpha.shape == (n, n)
+        np.testing.assert_allclose(alpha.sum(axis=1), np.ones(n), atol=1e-9)
+
+    def test_dependency_matrix_requires_pcg(self, tiny_dataset):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0, use_pcg=False)
+        with pytest.raises(RuntimeError):
+            model.dependency_matrix(tiny_dataset.sample(tiny_dataset.min_history))
+
+    def test_dependency_varies_over_time(self, tiny_dataset):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0)
+        t0 = tiny_dataset.min_history
+        a1 = model.dependency_matrix(tiny_dataset.sample(t0))
+        a2 = model.dependency_matrix(tiny_dataset.sample(t0 + 7))
+        assert not np.allclose(a1, a2)
+
+    def test_layer_attention_structure(self, model_and_sample):
+        model, sample = model_and_sample
+        layers = model.layer_attention(sample)
+        assert len(layers) == model.config.pcg_layers
+        assert len(layers[0]) == model.config.num_heads
+
+    def test_dependency_matrix_restores_training_mode(self, model_and_sample):
+        model, sample = model_and_sample
+        model.train()
+        model.dependency_matrix(sample)
+        assert model.training
+
+    def test_state_dict_roundtrip_preserves_predictions(self, tiny_dataset):
+        m1 = STGNNDJD.from_dataset(tiny_dataset, seed=0)
+        m2 = STGNNDJD.from_dataset(tiny_dataset, seed=99)
+        m2.load_state_dict(m1.state_dict())
+        m1.eval(); m2.eval()
+        sample = tiny_dataset.sample(tiny_dataset.min_history)
+        with no_grad():
+            d1, _ = m1(sample)
+            d2, _ = m2(sample)
+        np.testing.assert_allclose(d1.data, d2.data)

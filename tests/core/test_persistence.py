@@ -1,0 +1,64 @@
+"""Checkpoint save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    STGNNDJD,
+    load_config,
+    load_state,
+    load_stgnn,
+    save_checkpoint,
+)
+from repro.nn import Linear
+from repro.tensor import no_grad
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_predictions(self, tiny_dataset, tmp_path):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        restored = load_stgnn(path)
+
+        model.eval()
+        sample = tiny_dataset.sample(tiny_dataset.min_history)
+        with no_grad():
+            d1, s1 = model(sample)
+            d2, s2 = restored(sample)
+        np.testing.assert_allclose(d1.data, d2.data)
+        np.testing.assert_allclose(s1.data, s2.data)
+
+    def test_config_restored(self, tiny_dataset, tmp_path):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0, num_heads=2,
+                                      fcg_layers=1)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        config = load_config(path)
+        assert config.num_heads == 2
+        assert config.fcg_layers == 1
+        assert config.num_stations == tiny_dataset.num_stations
+
+    def test_loaded_model_in_eval_mode(self, tiny_dataset, tmp_path):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        assert not load_stgnn(path).training
+
+    def test_state_only_for_plain_module(self, tmp_path, rng):
+        layer = Linear(3, 2, rng=rng)
+        path = tmp_path / "layer.npz"
+        save_checkpoint(layer, path)
+        state = load_state(path)
+        np.testing.assert_allclose(state["weight"], layer.weight.data)
+        with pytest.raises(KeyError):
+            load_config(path)  # no config stored for a bare module
+
+    def test_state_is_a_copy(self, tiny_dataset, tmp_path):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        before = model.predictor.weight.data.copy()
+        model.predictor.weight.data[:] = 123.0
+        restored = load_stgnn(path)
+        np.testing.assert_allclose(restored.predictor.weight.data, before)

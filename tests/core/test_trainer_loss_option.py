@@ -1,0 +1,34 @@
+"""The TrainingConfig.loss switch (joint vs independent losses)."""
+
+import numpy as np
+import pytest
+
+from repro.core import STGNNDJD, Trainer, TrainingConfig
+
+
+class TestLossOption:
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(loss="huber")
+
+    def test_independent_loss_trains(self, mini_dataset):
+        model = STGNNDJD.from_dataset(mini_dataset, seed=0, dropout=0.0)
+        trainer = Trainer(
+            model, mini_dataset,
+            TrainingConfig(epochs=3, max_batches_per_epoch=3, seed=0,
+                           patience=10, loss="independent"),
+        )
+        history = trainer.fit()
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_loss_values_differ_between_modes(self, mini_dataset):
+        t = mini_dataset.min_history
+        model = STGNNDJD.from_dataset(mini_dataset, seed=0, dropout=0.0)
+        model.eval()
+        joint = Trainer(model, mini_dataset, TrainingConfig(loss="joint"))
+        independent = Trainer(model, mini_dataset, TrainingConfig(loss="independent"))
+        lj = joint._sample_loss(t).item()
+        li = independent._sample_loss(t).item()
+        assert lj != pytest.approx(li)
+        # joint = sqrt(mse_d + mse_s); independent = mse_d + mse_s.
+        assert lj == pytest.approx(np.sqrt(li), rel=1e-6)

@@ -1,0 +1,51 @@
+"""Validation-based configuration search."""
+
+import pytest
+
+from repro.core import TrainingConfig
+from repro.core.tuning import expand_grid, select_config
+
+
+class TestExpandGrid:
+    def test_empty_grid(self):
+        assert expand_grid({}) == [{}]
+
+    def test_cartesian_product(self):
+        combos = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert len(combos) == 4
+        assert {"a": 1, "b": "y"} in combos
+
+    def test_single_field(self):
+        assert expand_grid({"num_heads": [1, 2, 3]}) == [
+            {"num_heads": 1}, {"num_heads": 2}, {"num_heads": 3},
+        ]
+
+
+class TestSelectConfig:
+    @pytest.fixture(scope="class")
+    def search(self, mini_dataset):
+        return select_config(
+            mini_dataset,
+            grid={"fcg_layers": [1, 2], "dropout": [0.0]},
+            training=TrainingConfig(epochs=2, max_batches_per_epoch=2,
+                                    patience=10, seed=0),
+            seed=0,
+        )
+
+    def test_leaderboard_covers_grid(self, search):
+        assert len(search.leaderboard) == 2
+
+    def test_leaderboard_sorted_by_val_loss(self, search):
+        losses = [c.val_loss for c in search.leaderboard]
+        assert losses == sorted(losses)
+
+    def test_best_is_leaderboard_head(self, search):
+        assert search.best is search.leaderboard[0]
+
+    def test_best_overrides_usable(self, search, mini_dataset):
+        from repro.core import STGNNDJD
+
+        overrides = search.best_overrides()
+        assert overrides["dropout"] == 0.0
+        model = STGNNDJD.from_dataset(mini_dataset, seed=0, **overrides)
+        assert model.config.fcg_layers in (1, 2)

@@ -1,0 +1,83 @@
+"""Cleaning rules from paper Sec. VII-A."""
+
+import pytest
+
+from repro.data import TripRecord, clean_trips
+
+
+def trip(tid, origin=0, destination=1, start=0.0, duration=600.0):
+    return TripRecord(tid, origin, destination, start, start + duration)
+
+
+class TestCleanTrips:
+    def test_keeps_normal_trips(self):
+        kept, report = clean_trips([trip(0), trip(1)], num_stations=3)
+        assert len(kept) == 2
+        assert report.dropped == 0
+
+    def test_drops_negative_duration(self):
+        kept, report = clean_trips([trip(0, duration=-60.0)], num_stations=3)
+        assert kept == []
+        assert report.negative_duration == 1
+
+    def test_drops_zero_duration(self):
+        kept, report = clean_trips([trip(0, duration=0.0)], num_stations=3)
+        assert report.negative_duration == 1
+
+    def test_drops_over_24h(self):
+        kept, report = clean_trips([trip(0, duration=25 * 3600.0)], num_stations=3)
+        assert report.too_long == 1
+
+    def test_exactly_24h_kept(self):
+        kept, report = clean_trips([trip(0, duration=24 * 3600.0)], num_stations=3)
+        assert report.kept == 1
+
+    def test_drops_unknown_origin(self):
+        kept, report = clean_trips([trip(0, origin=-1)], num_stations=3)
+        assert report.unknown_station == 1
+
+    def test_drops_out_of_range_destination(self):
+        kept, report = clean_trips([trip(0, destination=3)], num_stations=3)
+        assert report.unknown_station == 1
+
+    def test_drops_instant_self_loop(self):
+        kept, report = clean_trips(
+            [trip(0, origin=1, destination=1, duration=30.0)], num_stations=3
+        )
+        assert report.self_loop_instant == 1
+
+    def test_keeps_long_self_loop(self):
+        kept, report = clean_trips(
+            [trip(0, origin=1, destination=1, duration=600.0)], num_stations=3
+        )
+        assert report.kept == 1
+
+    def test_first_matching_rule_wins(self):
+        # Negative duration AND unknown station: counted as negative.
+        record = TripRecord(0, -1, 1, 100.0, 50.0)
+        _, report = clean_trips([record], num_stations=3)
+        assert report.negative_duration == 1
+        assert report.unknown_station == 0
+
+    def test_report_totals_consistent(self):
+        trips = [
+            trip(0),
+            trip(1, duration=-5.0),
+            trip(2, duration=30 * 3600.0),
+            trip(3, origin=9),
+        ]
+        _, report = clean_trips(trips, num_stations=3)
+        assert report.total == 4
+        assert report.kept == 1
+        assert report.dropped == 3
+        as_dict = report.as_dict()
+        assert as_dict["dropped"] == 3
+
+    def test_custom_max_duration(self):
+        kept, report = clean_trips([trip(0, duration=7200.0)], num_stations=3,
+                                   max_duration=3600.0)
+        assert report.too_long == 1
+
+    def test_invalid_station_count(self):
+        with pytest.raises(ValueError):
+            clean_trips([], num_stations=0)

@@ -1,0 +1,145 @@
+"""BikeShareDataset: windows, splits, normalizers, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BikeShareDataset,
+    FlowDataConfig,
+    Station,
+    StationRegistry,
+)
+
+
+def make_dataset(days=6, n=3, spd=4, seed=0):
+    """Dense random dataset with slot_seconds = 86400/spd."""
+    rng = np.random.default_rng(seed)
+    slots = days * spd
+    inflow = rng.poisson(2.0, size=(slots, n, n)).astype(float)
+    outflow = rng.poisson(2.0, size=(slots, n, n)).astype(float)
+    registry = StationRegistry([Station(i, 0.01 * i, 0.0) for i in range(n)])
+    config = FlowDataConfig(
+        slot_seconds=86400.0 / spd, short_window=spd, long_days=2
+    )
+    return BikeShareDataset(registry, inflow, outflow, config, name="unit")
+
+
+class TestFlowDataConfig:
+    def test_slots_per_day(self):
+        assert FlowDataConfig(slot_seconds=900.0).slots_per_day == 96
+
+    def test_rejects_uneven_slot(self):
+        with pytest.raises(ValueError):
+            FlowDataConfig(slot_seconds=1000.0)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            FlowDataConfig(train_fraction=0.9, val_fraction=0.2)
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            FlowDataConfig(short_window=0)
+        with pytest.raises(ValueError):
+            FlowDataConfig(long_days=0)
+
+
+class TestDatasetConstruction:
+    def test_dimensions(self):
+        ds = make_dataset(days=6, n=3, spd=4)
+        assert ds.num_stations == 3
+        assert ds.num_days == 6
+        assert ds.num_slots == 24
+
+    def test_rejects_partial_days(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            BikeShareDataset(
+                ds.registry, ds.inflow[:-1], ds.outflow[:-1], ds.config
+            )
+
+    def test_rejects_station_mismatch(self):
+        ds = make_dataset(n=3)
+        small_registry = StationRegistry([Station(0, 0, 0), Station(1, 0.1, 0)])
+        with pytest.raises(ValueError):
+            BikeShareDataset(small_registry, ds.inflow, ds.outflow, ds.config)
+
+    def test_demand_supply_derived(self):
+        ds = make_dataset()
+        np.testing.assert_allclose(ds.demand, ds.outflow.sum(axis=2))
+        np.testing.assert_allclose(ds.supply, ds.inflow.sum(axis=2))
+
+
+class TestSplits:
+    def test_day_aligned_disjoint_ordered(self):
+        ds = make_dataset(days=10)
+        train, val, test = ds.split_indices()
+        assert set(train).isdisjoint(val)
+        assert set(val).isdisjoint(test)
+        assert train.max() < val.min() < test.max()
+
+    def test_min_history_excluded(self):
+        ds = make_dataset(days=10)
+        train, _, _ = ds.split_indices()
+        assert train.min() >= ds.min_history
+
+    def test_split_covers_remaining_slots(self):
+        ds = make_dataset(days=10)
+        train, val, test = ds.split_indices()
+        assert len(train) + len(val) + len(test) == ds.num_slots - ds.min_history
+
+    def test_too_few_days_rejected(self):
+        ds = make_dataset(days=2)
+        with pytest.raises(ValueError):
+            ds.split_indices()
+
+
+class TestSampling:
+    def test_sample_shapes(self):
+        ds = make_dataset(days=6, n=3, spd=4)
+        sample = ds.sample(ds.min_history)
+        assert sample.short_inflow.shape == (4, 3, 3)
+        assert sample.long_inflow.shape == (2, 3, 3)
+        assert sample.target_demand.shape == (3,)
+
+    def test_short_window_is_immediately_preceding(self):
+        ds = make_dataset()
+        t = ds.min_history + 1
+        sample = ds.sample(t)
+        np.testing.assert_allclose(sample.short_inflow, ds.inflow[t - 4 : t])
+
+    def test_long_window_is_same_slot_of_previous_days(self):
+        ds = make_dataset()
+        t = ds.min_history + 2
+        sample = ds.sample(t)
+        spd = ds.slots_per_day
+        np.testing.assert_allclose(sample.long_inflow[-1], ds.inflow[t - spd])
+        np.testing.assert_allclose(sample.long_inflow[0], ds.inflow[t - 2 * spd])
+
+    def test_targets_match_dataset(self):
+        ds = make_dataset()
+        t = ds.min_history
+        sample = ds.sample(t)
+        np.testing.assert_allclose(sample.target_demand, ds.demand[t])
+        np.testing.assert_allclose(sample.target_supply, ds.supply[t])
+
+    def test_out_of_range_rejected(self):
+        ds = make_dataset()
+        with pytest.raises(IndexError):
+            ds.sample(0)
+        with pytest.raises(IndexError):
+            ds.sample(ds.num_slots)
+
+    def test_slot_of_day(self):
+        ds = make_dataset(spd=4)
+        assert ds.slot_of_day(5) == 1
+
+
+class TestNormalizers:
+    def test_fit_on_training_only(self):
+        ds = make_dataset(days=10)
+        train, _, _ = ds.split_indices()
+        assert ds.demand_normalizer.maximum == ds.demand[train].max()
+
+    def test_flow_scale_positive(self):
+        ds = make_dataset()
+        assert ds.flow_scale > 0

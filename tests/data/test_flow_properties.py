@@ -1,0 +1,60 @@
+"""Property-based tests of flow bookkeeping invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import TripRecord, build_flow_tensors, demand_supply
+
+SLOT = 900.0
+SLOTS = 8
+
+
+@st.composite
+def trips(draw):
+    count = draw(st.integers(1, 30))
+    n = draw(st.integers(2, 6))
+    records = []
+    for trip_id in range(count):
+        origin = draw(st.integers(0, n - 1))
+        destination = draw(st.integers(0, n - 1))
+        start = draw(st.floats(0.0, SLOTS * SLOT - 1.0, allow_nan=False))
+        duration = draw(st.floats(60.0, 3 * SLOT, allow_nan=False))
+        records.append(TripRecord(trip_id, origin, destination, start, start + duration))
+    return records, n
+
+
+class TestFlowInvariants:
+    @given(trips())
+    @settings(max_examples=50, deadline=None)
+    def test_every_trip_counted_once_in_outflow(self, data):
+        records, n = data
+        inflow, outflow = build_flow_tensors(records, n, SLOTS, SLOT)
+        assert outflow.sum() == len(records)
+
+    @given(trips())
+    @settings(max_examples=50, deadline=None)
+    def test_inflow_never_exceeds_outflow(self, data):
+        """Bikes can still be in transit at the horizon, never the reverse."""
+        records, n = data
+        inflow, outflow = build_flow_tensors(records, n, SLOTS, SLOT)
+        assert inflow.sum() <= outflow.sum()
+
+    @given(trips())
+    @settings(max_examples=50, deadline=None)
+    def test_pairwise_conservation(self, data):
+        """Per (origin, destination): completed arrivals <= departures."""
+        records, n = data
+        inflow, outflow = build_flow_tensors(records, n, SLOTS, SLOT)
+        departures = outflow.sum(axis=0)  # (origin, dest)
+        arrivals = inflow.sum(axis=0).T  # inflow[dest, origin] -> (origin, dest)
+        assert (arrivals <= departures + 1e-9).all()
+
+    @given(trips())
+    @settings(max_examples=50, deadline=None)
+    def test_demand_supply_totals(self, data):
+        records, n = data
+        inflow, outflow = build_flow_tensors(records, n, SLOTS, SLOT)
+        demand, supply = demand_supply(inflow, outflow)
+        assert demand.sum() == outflow.sum()
+        assert supply.sum() == inflow.sum()
+        assert (demand >= 0).all() and (supply >= 0).all()

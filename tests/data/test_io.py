@@ -1,0 +1,72 @@
+"""CSV round-trips for trips and stations."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Station,
+    StationRegistry,
+    TripRecord,
+    read_stations_csv,
+    read_trips_csv,
+    write_stations_csv,
+    write_trips_csv,
+)
+
+
+class TestTripsCSV:
+    def test_roundtrip(self, tmp_path):
+        trips = [
+            TripRecord(0, 1, 2, 100.0, 400.0),
+            TripRecord(1, 2, 0, 500.5, 900.25),
+        ]
+        path = tmp_path / "trips.csv"
+        write_trips_csv(trips, path)
+        assert read_trips_csv(path) == trips
+
+    def test_blank_station_becomes_unknown(self, tmp_path):
+        path = tmp_path / "trips.csv"
+        path.write_text(
+            "trip_id,start_time,end_time,origin,destination\n"
+            "0,10.0,20.0,,2\n"
+            "1,10.0,20.0,abc,2\n"
+        )
+        trips = read_trips_csv(path)
+        assert trips[0].origin == -1
+        assert trips[1].origin == -1
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "trips.csv"
+        path.write_text("trip_id,start_time\n0,1.0\n")
+        with pytest.raises(ValueError):
+            read_trips_csv(path)
+
+
+class TestStationsCSV:
+    def test_roundtrip(self, tmp_path):
+        registry = StationRegistry(
+            [Station(0, -87.6, 41.9, "a"), Station(1, -87.7, 41.8, "b")]
+        )
+        path = tmp_path / "stations.csv"
+        write_stations_csv(registry, path)
+        loaded = read_stations_csv(path)
+        assert len(loaded) == 2
+        assert loaded[1].name == "b"
+        np.testing.assert_allclose(loaded.longitudes, registry.longitudes)
+
+    def test_remaps_noncontiguous_ids(self, tmp_path):
+        path = tmp_path / "stations.csv"
+        path.write_text(
+            "station_id,longitude,latitude,name\n"
+            "55,1.0,2.0,x\n"
+            "7,3.0,4.0,y\n"
+        )
+        loaded = read_stations_csv(path)
+        assert loaded[0].name == "y"  # original id 7 -> index 0
+        assert loaded[1].name == "x"
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "stations.csv"
+        path.write_text("station_id,longitude\n0,1.0\n")
+        with pytest.raises(ValueError):
+            read_stations_csv(path)

@@ -1,0 +1,66 @@
+"""Min-Max normalizer, including hypothesis round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data import MinMaxNormalizer
+
+
+class TestMinMaxNormalizer:
+    def test_maps_to_unit_interval(self):
+        scaler = MinMaxNormalizer().fit(np.array([2.0, 4.0, 6.0]))
+        out = scaler.transform(np.array([2.0, 4.0, 6.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_inverse_restores(self):
+        data = np.array([1.0, 5.0, 9.0])
+        scaler = MinMaxNormalizer().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_out_of_range_values_extrapolate(self):
+        scaler = MinMaxNormalizer().fit(np.array([0.0, 10.0]))
+        assert scaler.transform(np.array([20.0]))[0] == pytest.approx(2.0)
+
+    def test_constant_data(self):
+        scaler = MinMaxNormalizer().fit(np.array([3.0, 3.0]))
+        np.testing.assert_allclose(scaler.transform(np.array([3.0])), [0.0])
+        np.testing.assert_allclose(scaler.inverse_transform(np.array([0.7])), [3.0])
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            MinMaxNormalizer().transform(np.zeros(3))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxNormalizer().fit(np.array([]))
+
+    def test_fit_transform(self):
+        out = MinMaxNormalizer().fit_transform(np.array([0.0, 2.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.integers(2, 30),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    def test_roundtrip_property(self, data):
+        scaler = MinMaxNormalizer().fit(data)
+        restored = scaler.inverse_transform(scaler.transform(data))
+        np.testing.assert_allclose(restored, data, atol=1e-6)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.integers(2, 30),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    def test_transform_range_property(self, data):
+        scaler = MinMaxNormalizer().fit(data)
+        out = scaler.transform(data)
+        assert out.min() >= -1e-12
+        assert out.max() <= 1.0 + 1e-12

@@ -1,0 +1,106 @@
+"""Real-export adapters (Divvy/Metro CSV layouts)."""
+
+import pytest
+
+from repro.data import clean_trips, detect_layout, read_real_trips, window_days
+
+DIVVY_2020 = """ride_id,rideable_type,started_at,ended_at,start_station_id,end_station_id,start_lat,start_lng,end_lat,end_lng
+A1,classic,2018-04-01 08:00:00,2018-04-01 08:15:00,1001,1002,41.88,-87.63,41.89,-87.62
+A2,classic,2018-04-01 09:30:00,2018-04-01 09:40:00,1002,1001,41.89,-87.62,41.88,-87.63
+A3,classic,2018-04-02 10:00:00,2018-04-02 10:20:00,1001,1003,41.88,-87.63,41.90,-87.61
+"""
+
+DIVVY_2018 = """trip_id,start_time,end_time,from_station_id,to_station_id
+7,2018-04-01 08:00:00,2018-04-01 08:30:00,55,66
+8,2018-04-01 08:05:00,2018-04-01 08:20:00,66,55
+"""
+
+METRO = """trip_id,duration,start_time,end_time,start_station,end_station,start_lat,start_lon,end_lat,end_lon
+M1,900,2017-10-01 07:00:00,2017-10-01 07:15:00,3005,3006,34.05,-118.24,34.06,-118.25
+"""
+
+BAD_ROWS = """trip_id,start_time,end_time,from_station_id,to_station_id
+1,2018-04-01 08:00:00,2018-04-01 08:30:00,55,66
+2,not-a-time,2018-04-01 08:20:00,66,55
+3,2018-04-01 09:00:00,2018-04-01 09:10:00,,55
+"""
+
+
+def write(tmp_path, text, name="trips.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestLayoutDetection:
+    def test_divvy_2020(self):
+        header = DIVVY_2020.splitlines()[0].split(",")
+        assert detect_layout(header) == "divvy-2020"
+
+    def test_divvy_2018(self):
+        header = DIVVY_2018.splitlines()[0].split(",")
+        assert detect_layout(header) == "divvy-2018"
+
+    def test_metro(self):
+        header = METRO.splitlines()[0].split(",")
+        assert detect_layout(header) == "metro"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            detect_layout(["foo", "bar"])
+
+
+class TestReadRealTrips:
+    def test_divvy_2020_parse(self, tmp_path):
+        result = read_real_trips(write(tmp_path, DIVVY_2020))
+        assert result.layout == "divvy-2020"
+        assert len(result.trips) == 3
+        assert len(result.registry) == 3  # stations 1001/1002/1003 -> 0/1/2
+        assert result.unparseable_rows == 0
+
+    def test_times_relative_to_first_midnight(self, tmp_path):
+        result = read_real_trips(write(tmp_path, DIVVY_2020))
+        first = result.trips[0]
+        assert first.start_time == 8 * 3600.0
+        assert first.duration == 15 * 60.0
+        # Second-day trip lands in day 1.
+        assert result.trips[2].start_time == 86400.0 + 10 * 3600.0
+
+    def test_station_ids_contiguous_and_named(self, tmp_path):
+        result = read_real_trips(write(tmp_path, DIVVY_2020))
+        names = [s.name for s in result.registry]
+        assert names == ["1001", "1002", "1003"]
+
+    def test_coordinates_from_rows(self, tmp_path):
+        result = read_real_trips(write(tmp_path, DIVVY_2020))
+        station = result.registry[0]  # original id 1001
+        assert station.latitude == pytest.approx(41.88)
+        assert station.longitude == pytest.approx(-87.63)
+
+    def test_metro_layout(self, tmp_path):
+        result = read_real_trips(write(tmp_path, METRO))
+        assert result.layout == "metro"
+        assert result.registry[0].latitude == pytest.approx(34.05)
+
+    def test_bad_rows_marked_not_dropped(self, tmp_path):
+        result = read_real_trips(write(tmp_path, BAD_ROWS))
+        assert len(result.trips) == 3
+        assert result.unparseable_rows == 1
+        clean, report = clean_trips(result.trips, len(result.registry))
+        # Row 2 (bad time) and row 3 (missing origin) are cleaned away.
+        assert report.kept == 1
+        assert report.negative_duration >= 1
+        assert report.unknown_station >= 1
+
+    def test_window_days(self, tmp_path):
+        result = read_real_trips(write(tmp_path, DIVVY_2020))
+        assert window_days(result) == 2
+
+    def test_no_timestamps_rejected(self, tmp_path):
+        path = write(
+            tmp_path,
+            "trip_id,start_time,end_time,from_station_id,to_station_id\n"
+            "1,xx,yy,1,2\n",
+        )
+        with pytest.raises(ValueError):
+            read_real_trips(path)

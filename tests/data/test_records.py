@@ -1,0 +1,30 @@
+"""TripRecord semantics."""
+
+import pytest
+
+from repro.data import TripRecord
+
+
+class TestTripRecord:
+    def test_duration(self):
+        trip = TripRecord(0, 1, 2, 100.0, 400.0)
+        assert trip.duration == 300.0
+
+    def test_negative_duration_representable(self):
+        # Dirty records must be constructible so cleaning can reject them.
+        trip = TripRecord(0, 1, 2, 400.0, 100.0)
+        assert trip.duration == -300.0
+
+    def test_slots(self):
+        trip = TripRecord(0, 1, 2, start_time=3600.0, end_time=7300.0)
+        assert trip.start_slot(3600.0) == 1
+        assert trip.end_slot(3600.0) == 2
+
+    def test_slot_boundary_belongs_to_next_slot(self):
+        trip = TripRecord(0, 1, 2, start_time=900.0, end_time=1000.0)
+        assert trip.start_slot(900.0) == 1
+
+    def test_frozen(self):
+        trip = TripRecord(0, 1, 2, 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            trip.origin = 5

@@ -1,0 +1,56 @@
+"""Per-station popularity drift (the dynamic-dependency data knob)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCityConfig, build_city, intensity_tensor
+
+
+def config(**kwargs):
+    base = SyntheticCityConfig.tiny(days=10, num_stations=8)
+    return dataclasses.replace(
+        base, day_factor_sigma=0.0, slot_factor_sigma=0.0, **kwargs
+    )
+
+
+class TestStationDrift:
+    def test_disabled_by_default(self):
+        city = build_city(config(), seed=0)
+        np.testing.assert_allclose(city.station_day_factors, 1.0)
+
+    def test_shape(self):
+        city = build_city(config(station_drift_sigma=0.4), seed=0)
+        assert city.station_day_factors.shape == (10, 8)
+
+    def test_factors_positive_and_near_unit_mean(self):
+        city = build_city(config(station_drift_sigma=0.4), seed=0)
+        factors = city.station_day_factors
+        assert (factors > 0).all()
+        assert factors.mean() == pytest.approx(1.0, abs=0.3)
+
+    def test_stations_drift_independently(self):
+        city = build_city(config(station_drift_sigma=0.4), seed=0)
+        factors = city.station_day_factors
+        # Two stations' day series should differ.
+        assert not np.allclose(factors[:, 0], factors[:, 1])
+
+    def test_autocorrelation_across_days(self):
+        city = build_city(config(station_drift_sigma=0.5, station_drift_rho=0.9),
+                          seed=1)
+        logs = np.log(city.station_day_factors)
+        lagged = np.corrcoef(logs[:-1].ravel(), logs[1:].ravel())[0, 1]
+        assert lagged > 0.5  # strong day-to-day persistence
+
+    def test_drift_modulates_intensity_rows_and_columns(self):
+        drifted = build_city(config(station_drift_sigma=0.6), seed=2)
+        flat = build_city(config(), seed=2)
+        lam_d = intensity_tensor(drifted)
+        lam_f = intensity_tensor(flat)
+        spd = drifted.config.slots_per_day
+        # Ratio between days should vary per station under drift.
+        day0 = lam_d[:spd].sum(axis=(0, 2)) / np.maximum(lam_f[:spd].sum(axis=(0, 2)), 1e-12)
+        day3 = (lam_d[3 * spd : 4 * spd].sum(axis=(0, 2))
+                / np.maximum(lam_f[3 * spd : 4 * spd].sum(axis=(0, 2)), 1e-12))
+        assert not np.allclose(day0, day3)

@@ -1,0 +1,88 @@
+"""Stations, haversine distance, nearest-neighbor queries."""
+
+import numpy as np
+import pytest
+
+from repro.data import Station, StationRegistry, haversine_km
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(10.0, 50.0, 10.0, 50.0) == pytest.approx(0.0)
+
+    def test_known_distance_one_degree_latitude(self):
+        # 1 degree of latitude is ~111.2 km.
+        d = haversine_km(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(111.2, abs=0.5)
+
+    def test_symmetry(self):
+        assert haversine_km(-87.6, 41.9, -87.7, 42.0) == pytest.approx(
+            haversine_km(-87.7, 42.0, -87.6, 41.9)
+        )
+
+    def test_vectorized(self):
+        lons = np.array([0.0, 1.0])
+        out = haversine_km(lons, 0.0, 0.0, 0.0)
+        assert out.shape == (2,)
+        assert out[0] == 0.0
+
+
+def make_registry(n=5):
+    return StationRegistry(
+        [Station(i, -87.6 + 0.01 * i, 41.9, name=f"s{i}") for i in range(n)]
+    )
+
+
+class TestStationRegistry:
+    def test_len_and_getitem(self):
+        registry = make_registry(4)
+        assert len(registry) == 4
+        assert registry[2].name == "s2"
+
+    def test_requires_contiguous_ids(self):
+        with pytest.raises(ValueError):
+            StationRegistry([Station(0, 0, 0), Station(2, 0, 0)])
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            StationRegistry([])
+
+    def test_from_stations_remaps(self):
+        registry = StationRegistry.from_stations(
+            [Station(100, 1.0, 2.0), Station(7, 3.0, 4.0)]
+        )
+        assert len(registry) == 2
+        # Sorted by original id: 7 -> 0, 100 -> 1.
+        assert registry[0].longitude == 3.0
+        assert registry[1].longitude == 1.0
+
+    def test_distance_matrix_symmetric_zero_diagonal(self):
+        registry = make_registry(5)
+        d = registry.distance_matrix()
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), np.zeros(5))
+
+    def test_distance_matrix_cached(self):
+        registry = make_registry(3)
+        assert registry.distance_matrix() is registry.distance_matrix()
+
+    def test_nearest_ordered_by_distance(self):
+        registry = make_registry(5)
+        nearest = registry.nearest(0, count=4)
+        # Stations laid out on a line eastward: order must be 1,2,3,4.
+        assert nearest == [1, 2, 3, 4]
+
+    def test_nearest_excludes_self(self):
+        registry = make_registry(5)
+        assert 2 not in registry.nearest(2, count=4)
+
+    def test_nearest_count_clamped(self):
+        registry = make_registry(3)
+        assert len(registry.nearest(0, count=10)) == 2
+
+    def test_nearest_invalid_args(self):
+        registry = make_registry(3)
+        with pytest.raises(IndexError):
+            registry.nearest(5)
+        with pytest.raises(ValueError):
+            registry.nearest(0, count=0)

@@ -1,0 +1,204 @@
+"""The synthetic city generator: does it produce the structure the
+paper's model exploits (rush hours, periodicity, school twins, dirt)?"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    HOME,
+    SCHOOL,
+    WORK,
+    SyntheticCityConfig,
+    build_city,
+    clean_trips,
+    generate_city,
+    generate_trips,
+    intensity_tensor,
+)
+
+
+import dataclasses
+
+
+def quiet(config):
+    """Disable the stochastic citywide shocks for determinism checks."""
+    return dataclasses.replace(config, day_factor_sigma=0.0, slot_factor_sigma=0.0)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return build_city(quiet(SyntheticCityConfig.tiny(days=8, num_stations=10)), seed=5)
+
+
+class TestConfig:
+    def test_presets_build(self):
+        assert SyntheticCityConfig.chicago_like().num_stations == 40
+        assert SyntheticCityConfig.la_like().num_stations == 16
+
+    def test_chicago_denser_than_la(self):
+        chicago = SyntheticCityConfig.chicago_like()
+        la = SyntheticCityConfig.la_like()
+        assert chicago.trips_per_day / chicago.num_stations > (
+            la.trips_per_day / la.num_stations
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCityConfig(num_stations=2)
+        with pytest.raises(ValueError):
+            SyntheticCityConfig(days=1)
+        with pytest.raises(ValueError):
+            SyntheticCityConfig(dirty_fraction=1.0)
+        with pytest.raises(ValueError):
+            SyntheticCityConfig(num_stations=8, school_pairs=3)
+
+
+class TestCityStructure:
+    def test_station_types_assigned(self, city):
+        types = set(city.station_types.tolist())
+        assert types == {HOME, WORK, SCHOOL}
+
+    def test_school_pairs_are_distant(self, city):
+        distances = city.registry.distance_matrix()
+        radius = city.config.city_radius_km
+        for a, b in city.school_pair_ids:
+            assert distances[a, b] > radius  # placed on opposite edges
+
+    def test_affinity_no_self_loops(self, city):
+        np.testing.assert_allclose(np.diag(city.base_affinity), 0.0)
+
+    def test_affinity_nonnegative(self, city):
+        assert (city.base_affinity >= 0).all()
+
+
+class TestIntensity:
+    def test_weekday_total_matches_config(self, city):
+        lam = intensity_tensor(city)
+        spd = city.config.slots_per_day
+        day0 = lam[:spd].sum()  # day 0 is a weekday
+        assert day0 == pytest.approx(city.config.trips_per_day, rel=1e-9)
+
+    def test_weekend_scaled_down(self, city):
+        lam = intensity_tensor(city)
+        spd = city.config.slots_per_day
+        weekday = lam[:spd].sum()
+        weekend = lam[5 * spd : 6 * spd].sum()
+        assert weekend == pytest.approx(
+            weekday * city.config.weekend_factor, rel=1e-9
+        )
+
+    def test_morning_rush_home_to_work(self, city):
+        """Home->work intensity at 08:00-09:00 exceeds that at 03:00."""
+        lam = intensity_tensor(city)
+        spd = city.config.slots_per_day
+        home = np.nonzero(city.station_types == HOME)[0]
+        work = np.nonzero(city.station_types == WORK)[0]
+        hour = spd // 24
+        morning = lam[8 * hour][np.ix_(home, work)].sum()
+        night = lam[3 * hour][np.ix_(home, work)].sum()
+        assert morning > 5 * night
+
+    def test_evening_rush_work_to_home(self, city):
+        lam = intensity_tensor(city)
+        spd = city.config.slots_per_day
+        home = np.nonzero(city.station_types == HOME)[0]
+        work = np.nonzero(city.station_types == WORK)[0]
+        hour = spd // 24
+        evening = lam[17 * hour][np.ix_(work, home)].sum()
+        morning = lam[8 * hour][np.ix_(work, home)].sum()
+        assert evening > morning
+
+    def test_daily_periodicity(self, city):
+        """Weekday intensity repeats exactly across weekdays."""
+        lam = intensity_tensor(city)
+        spd = city.config.slots_per_day
+        np.testing.assert_allclose(lam[:spd], lam[spd : 2 * spd])
+
+
+class TestCitywideFactors:
+    def test_mean_near_one(self):
+        config = SyntheticCityConfig.tiny(days=10, num_stations=8)
+        city = build_city(config, seed=3)
+        assert city.slot_factors.mean() == pytest.approx(1.0, abs=0.35)
+        assert (city.slot_factors > 0).all()
+
+    def test_shocks_vary_across_days(self):
+        config = SyntheticCityConfig.tiny(days=10, num_stations=8)
+        city = build_city(config, seed=3)
+        spd = config.slots_per_day
+        day_means = city.slot_factors.reshape(config.days, spd).mean(axis=1)
+        assert day_means.std() > 0.01  # day-to-day variability exists
+
+    def test_zero_sigma_gives_constant_one(self):
+        config = quiet(SyntheticCityConfig.tiny(days=6, num_stations=8))
+        city = build_city(config, seed=3)
+        np.testing.assert_allclose(city.slot_factors, 1.0)
+
+    def test_shocks_modulate_intensity(self):
+        noisy = build_city(SyntheticCityConfig.tiny(days=6, num_stations=8), seed=9)
+        lam = intensity_tensor(noisy)
+        spd = noisy.config.slots_per_day
+        # Two weekdays now differ because of the shocks.
+        assert not np.allclose(lam[:spd], lam[spd : 2 * spd])
+
+
+class TestTripGeneration:
+    def test_deterministic(self):
+        config = SyntheticCityConfig.tiny(days=4, num_stations=6)
+        city = build_city(config, seed=1)
+        t1 = generate_trips(city, seed=2)
+        t2 = generate_trips(city, seed=2)
+        assert len(t1) == len(t2)
+        assert t1[0] == t2[0]
+
+    def test_trip_count_near_expectation(self):
+        config = quiet(SyntheticCityConfig.tiny(days=7, num_stations=8))
+        city = build_city(config, seed=1)
+        trips = generate_trips(city, seed=2)
+        # 5 weekdays + 2 weekend days at weekend_factor.
+        expected = config.trips_per_day * (5 + 2 * config.weekend_factor)
+        assert len(trips) == pytest.approx(expected, rel=0.15)
+
+    def test_durations_positive(self):
+        config = SyntheticCityConfig.tiny(days=3, num_stations=6)
+        trips = generate_trips(build_city(config, seed=0), seed=0)
+        assert all(t.duration >= 120.0 for t in trips)
+
+    def test_dirty_fraction_injected_and_cleaned(self):
+        config = SyntheticCityConfig(
+            name="dirty", num_stations=8, days=4, trips_per_day=300,
+            slot_seconds=3600.0, short_window=24, long_days=1,
+            dirty_fraction=0.1,
+        )
+        trips = generate_trips(build_city(config, seed=0), seed=0)
+        clean, report = clean_trips(trips, config.num_stations)
+        assert report.dropped > 0
+        assert report.dropped / report.total == pytest.approx(0.1, abs=0.03)
+
+
+class TestGenerateCity:
+    def test_end_to_end(self):
+        ds = generate_city(SyntheticCityConfig.tiny(days=6, num_stations=6), seed=9)
+        assert ds.num_days == 6
+        assert ds.demand.sum() > 0
+        # Pipeline invariant: completed trips conserve demand >= supply
+        # (in-transit bikes at the horizon are demand-only).
+        assert ds.demand.sum() >= ds.supply.sum()
+
+    def test_school_twins_pattern_correlated(self):
+        """Demand series of a school pair correlates more than the city
+        median pair — the structure the PCG exists to exploit."""
+        config = SyntheticCityConfig.tiny(days=10, num_stations=12)
+        city = build_city(config, seed=4)
+        ds = generate_city(config, seed=4)
+        a, b = city.school_pair_ids[0]
+        demand = ds.demand
+        def corr(i, j):
+            x, y = demand[:, i], demand[:, j]
+            if x.std() == 0 or y.std() == 0:
+                return 0.0
+            return float(np.corrcoef(x, y)[0, 1])
+        school_corr = corr(a, b)
+        n = config.num_stations
+        all_corrs = [corr(i, j) for i in range(n) for j in range(i + 1, n)]
+        assert school_corr > np.median(all_corrs)

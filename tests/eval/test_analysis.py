@@ -1,0 +1,99 @@
+"""Dataset analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    busiest_hours,
+    daily_profile,
+    imbalance_by_slot,
+    od_concentration,
+    od_matrix,
+    station_summaries,
+)
+
+
+class TestStationSummaries:
+    def test_sorted_by_total_demand(self, tiny_dataset):
+        summaries = station_summaries(tiny_dataset)
+        demands = [s.total_demand for s in summaries]
+        assert demands == sorted(demands, reverse=True)
+
+    def test_totals_match_dataset(self, tiny_dataset):
+        summaries = station_summaries(tiny_dataset)
+        assert sum(s.total_demand for s in summaries) == pytest.approx(
+            tiny_dataset.demand.sum()
+        )
+        assert sum(s.total_supply for s in summaries) == pytest.approx(
+            tiny_dataset.supply.sum()
+        )
+
+    def test_net_outflow_consistency(self, tiny_dataset):
+        for summary in station_summaries(tiny_dataset):
+            assert summary.net_outflow == pytest.approx(
+                summary.total_demand - summary.total_supply
+            )
+
+    def test_peak_slot_in_range(self, tiny_dataset):
+        for summary in station_summaries(tiny_dataset):
+            assert 0 <= summary.peak_demand_slot < tiny_dataset.slots_per_day
+
+
+class TestProfiles:
+    def test_daily_profile_shape_and_mean(self, tiny_dataset):
+        profile = daily_profile(tiny_dataset)
+        assert profile.shape == (tiny_dataset.slots_per_day, tiny_dataset.num_stations)
+        np.testing.assert_allclose(
+            profile.mean(), tiny_dataset.demand.mean(), rtol=1e-12
+        )
+
+    def test_busiest_hours_are_peaks(self, tiny_dataset):
+        top = busiest_hours(tiny_dataset, count=2)
+        citywide = daily_profile(tiny_dataset).sum(axis=1)
+        assert citywide[top[0]] == citywide.max()
+        assert len(top) == 2
+
+    def test_busiest_hours_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            busiest_hours(tiny_dataset, count=0)
+
+    def test_commuter_city_peaks_at_rush(self, tiny_dataset):
+        """The generator's commuter structure: peaks near 8-9 or 17-18."""
+        top = set(busiest_hours(tiny_dataset, count=4))
+        rush = set(range(7, 11)) | set(range(16, 20))
+        assert top & rush
+
+
+class TestODAnalysis:
+    def test_od_matrix_total(self, tiny_dataset):
+        assert od_matrix(tiny_dataset).sum() == pytest.approx(
+            tiny_dataset.demand.sum()
+        )
+
+    def test_concentration_bounds(self, tiny_dataset):
+        share = od_concentration(tiny_dataset, top_fraction=0.1)
+        assert 0.0 < share <= 1.0
+        # Top 10% of pairs must carry more than 10% of trips (heavy tail).
+        assert share > 0.1
+
+    def test_concentration_full_fraction_is_one(self, tiny_dataset):
+        assert od_concentration(tiny_dataset, top_fraction=1.0) == pytest.approx(1.0)
+
+    def test_concentration_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            od_concentration(tiny_dataset, top_fraction=0.0)
+
+
+class TestImbalance:
+    def test_shape(self, tiny_dataset):
+        net = imbalance_by_slot(tiny_dataset)
+        assert net.shape == (tiny_dataset.slots_per_day, tiny_dataset.num_stations)
+
+    def test_sums_to_net_flow(self, tiny_dataset):
+        net = imbalance_by_slot(tiny_dataset)
+        expected = (tiny_dataset.demand - tiny_dataset.supply).mean(axis=0).sum()
+        assert net.mean(axis=0).sum() * 1 == pytest.approx(
+            (tiny_dataset.demand - tiny_dataset.supply).reshape(
+                tiny_dataset.num_days, tiny_dataset.slots_per_day, -1
+            ).mean(axis=0).mean(axis=0).sum()
+        )

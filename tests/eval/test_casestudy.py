@@ -1,0 +1,116 @@
+"""Case-study tooling (Sec. VIII heatmaps)."""
+
+import numpy as np
+import pytest
+
+from repro.core import STGNNDJD
+from repro.eval import (
+    locality_dependency_heatmap,
+    model_dependency_heatmap,
+    render_heatmap,
+    rush_window_times,
+)
+
+
+@pytest.fixture(scope="module")
+def model(tiny_dataset):
+    return STGNNDJD.from_dataset(tiny_dataset, seed=0)
+
+
+def window(dataset):
+    day = dataset.num_days - 1
+    return rush_window_times(dataset, day, 7.0, 10.0)
+
+
+class TestRushWindowTimes:
+    def test_hourly_morning_window(self, tiny_dataset):
+        times = window(tiny_dataset)
+        assert len(times) == 3  # 3 hourly slots in 07:00-10:00
+        spd = tiny_dataset.slots_per_day
+        assert (times // spd == tiny_dataset.num_days - 1).all()
+
+    def test_slot_of_day(self, tiny_dataset):
+        times = rush_window_times(tiny_dataset, 5, 15.0, 18.0)
+        spd = tiny_dataset.slots_per_day
+        np.testing.assert_array_equal(times % spd, [15, 16, 17])
+
+
+class TestModelHeatmap:
+    def test_shape(self, model, tiny_dataset):
+        heatmap = model_dependency_heatmap(
+            model, tiny_dataset, target_station=0,
+            times=window(tiny_dataset), neighbors=5,
+        )
+        assert heatmap.values.shape == (3, 5)
+        assert len(heatmap.neighbor_ids) == 5
+
+    def test_neighbors_ordered_by_distance(self, model, tiny_dataset):
+        heatmap = model_dependency_heatmap(
+            model, tiny_dataset, 0, window(tiny_dataset), neighbors=5
+        )
+        d = tiny_dataset.registry.distance_matrix()[0]
+        distances = [d[i] for i in heatmap.neighbor_ids]
+        assert distances == sorted(distances)
+
+    def test_directions_differ(self, model, tiny_dataset):
+        times = window(tiny_dataset)
+        from_t = model_dependency_heatmap(model, tiny_dataset, 0, times,
+                                          direction="from_target")
+        to_t = model_dependency_heatmap(model, tiny_dataset, 0, times,
+                                        direction="to_target")
+        assert not np.allclose(from_t.values, to_t.values)
+
+    def test_invalid_direction(self, model, tiny_dataset):
+        with pytest.raises(ValueError):
+            model_dependency_heatmap(model, tiny_dataset, 0, window(tiny_dataset),
+                                     direction="sideways")
+
+    def test_values_vary_over_time(self, model, tiny_dataset):
+        """The learned dependency is dynamic (paper's first case-study
+        observation): columns must not be constant."""
+        heatmap = model_dependency_heatmap(model, tiny_dataset, 0, window(tiny_dataset))
+        assert heatmap.values.std(axis=0).max() > 0
+
+
+class TestLocalityHeatmap:
+    def test_time_invariant(self, tiny_dataset):
+        heatmap = locality_dependency_heatmap(
+            tiny_dataset, 0, window(tiny_dataset), neighbors=5
+        )
+        assert np.allclose(heatmap.values, heatmap.values[0])
+
+    def test_monotone_distance_decay(self, tiny_dataset):
+        heatmap = locality_dependency_heatmap(
+            tiny_dataset, 0, window(tiny_dataset), neighbors=5
+        )
+        row = heatmap.values[0]
+        assert (np.diff(row) <= 1e-12).all()
+
+    def test_strong_negative_monotonicity_score(self, tiny_dataset):
+        heatmap = locality_dependency_heatmap(
+            tiny_dataset, 0, window(tiny_dataset), neighbors=6
+        )
+        assert heatmap.column_monotonicity() < -0.5
+
+    def test_rows_normalised(self, tiny_dataset):
+        heatmap = locality_dependency_heatmap(tiny_dataset, 0, window(tiny_dataset))
+        np.testing.assert_allclose(heatmap.values.sum(axis=1), 1.0)
+
+
+class TestRenderHeatmap:
+    def test_renders_all_rows(self, tiny_dataset):
+        heatmap = locality_dependency_heatmap(
+            tiny_dataset, 0, window(tiny_dataset), neighbors=4
+        )
+        text = render_heatmap(heatmap)
+        # Header + separator + title + one line per time slot.
+        assert len(text.splitlines()) == 3 + len(heatmap.times)
+
+    def test_constant_heatmap_renders_without_dividing_by_zero(self, tiny_dataset):
+        heatmap = locality_dependency_heatmap(tiny_dataset, 0, window(tiny_dataset))
+        flat = heatmap.values * 0.0 + 0.5
+        constant = type(heatmap)(
+            target_station=0, neighbor_ids=heatmap.neighbor_ids,
+            times=heatmap.times, values=flat, direction="from_target",
+        )
+        assert render_heatmap(constant)

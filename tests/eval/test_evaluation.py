@@ -1,0 +1,84 @@
+"""Evaluation runner over Predictor objects."""
+
+import numpy as np
+import pytest
+
+from repro.eval import EvalResult, collect_predictions, evaluate_model
+
+
+class OraclePredictor:
+    """Predicts the ground truth exactly."""
+
+    def __init__(self, dataset):
+        self.dataset = dataset
+
+    def predict(self, t):
+        return self.dataset.demand[t].copy(), self.dataset.supply[t].copy()
+
+
+class BiasedPredictor(OraclePredictor):
+    def predict(self, t):
+        demand, supply = super().predict(t)
+        return demand + 1.0, supply
+
+
+class TestEvaluateModel:
+    def test_oracle_scores_zero(self, tiny_dataset):
+        result = evaluate_model(OraclePredictor(tiny_dataset), tiny_dataset)
+        assert result.rmse == 0.0
+        assert result.mae == 0.0
+
+    def test_biased_predictor_scores_expected_error(self, tiny_dataset):
+        result = evaluate_model(BiasedPredictor(tiny_dataset), tiny_dataset)
+        # Demand error 1 on every active entry, supply error 0 -> MAE 0.5.
+        assert result.mae == pytest.approx(0.5)
+        assert result.rmse == pytest.approx(np.sqrt(0.5))
+
+    def test_defaults_to_test_split(self, tiny_dataset):
+        _, _, test_idx = tiny_dataset.split_indices()
+        result = evaluate_model(OraclePredictor(tiny_dataset), tiny_dataset)
+        mask_count = (
+            (tiny_dataset.demand[test_idx] > 0) | (tiny_dataset.supply[test_idx] > 0)
+        ).sum()
+        assert result.num_samples == mask_count
+
+    def test_rush_window_restricts_indices(self, tiny_dataset):
+        all_result = evaluate_model(BiasedPredictor(tiny_dataset), tiny_dataset)
+        rush_result = evaluate_model(
+            BiasedPredictor(tiny_dataset), tiny_dataset, window="morning"
+        )
+        assert rush_result.num_samples < all_result.num_samples
+
+    def test_explicit_indices(self, tiny_dataset):
+        t = tiny_dataset.min_history
+        result = evaluate_model(
+            OraclePredictor(tiny_dataset), tiny_dataset, indices=np.array([t])
+        )
+        assert result.rmse == 0.0
+
+    def test_empty_indices_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            collect_predictions(
+                OraclePredictor(tiny_dataset), tiny_dataset, np.array([])
+            )
+
+    def test_str_rendering(self):
+        text = str(EvalResult(rmse=1.234, mae=0.5, num_samples=10))
+        assert "1.234" in text and "0.500" in text
+
+
+class TestCollectPredictions:
+    def test_shapes(self, tiny_dataset):
+        indices = np.arange(tiny_dataset.min_history, tiny_dataset.min_history + 5)
+        dt, dp, st_, sp = collect_predictions(
+            OraclePredictor(tiny_dataset), tiny_dataset, indices
+        )
+        n = tiny_dataset.num_stations
+        assert dt.shape == dp.shape == st_.shape == sp.shape == (5, n)
+
+    def test_truth_matches_dataset(self, tiny_dataset):
+        indices = np.array([tiny_dataset.min_history])
+        dt, _, st_, _ = collect_predictions(
+            OraclePredictor(tiny_dataset), tiny_dataset, indices
+        )
+        np.testing.assert_allclose(dt[0], tiny_dataset.demand[indices[0]])

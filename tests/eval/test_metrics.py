@@ -1,0 +1,106 @@
+"""Metrics: RMSE/MAE exactly per Eqs. 22-23, masks, rush windows."""
+
+import numpy as np
+import pytest
+
+from repro.eval import active_station_mask, mae, rmse, rush_hour_mask, rush_hour_slots
+
+
+class TestRMSE:
+    def test_hand_computed(self):
+        # demand errors: [1, 0]; supply errors: [0, 2]. 2n = 4.
+        value = rmse(
+            np.array([1.0, 2.0]), np.array([2.0, 2.0]),
+            np.array([3.0, 1.0]), np.array([3.0, 3.0]),
+        )
+        assert value == pytest.approx(np.sqrt((1 + 4) / 4))
+
+    def test_zero_for_perfect(self):
+        a = np.array([1.0, 2.0])
+        assert rmse(a, a, a, a) == 0.0
+
+    def test_mask_excludes_entries(self):
+        demand_true = np.array([0.0, 5.0])
+        demand_pred = np.array([100.0, 5.0])  # huge error on masked entry
+        supply = np.array([1.0, 1.0])
+        mask = np.array([False, True])
+        assert rmse(demand_true, demand_pred, supply, supply, mask) == 0.0
+
+    def test_empty_mask_gives_nan(self):
+        a = np.array([1.0])
+        out = rmse(a, a, a, a, np.array([False]))
+        assert np.isnan(out)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(2), np.zeros(3), np.zeros(2), np.zeros(2))
+
+    def test_mask_shape_mismatch_rejected(self):
+        a = np.zeros(2)
+        with pytest.raises(ValueError):
+            rmse(a, a, a, a, np.array([True]))
+
+
+class TestMAE:
+    def test_hand_computed(self):
+        value = mae(
+            np.array([1.0, 2.0]), np.array([3.0, 2.0]),
+            np.array([0.0, 0.0]), np.array([1.0, 0.0]),
+        )
+        assert value == pytest.approx((2 + 1) / 4)
+
+    def test_uses_absolute_errors(self):
+        """Opposite-sign errors must NOT cancel (the Eq. 23 typo fix)."""
+        value = mae(
+            np.array([0.0, 0.0]), np.array([1.0, -1.0]),
+            np.array([0.0, 0.0]), np.array([0.0, 0.0]),
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_mae_le_rmse(self, rng):
+        dt, dp = rng.random(50), rng.random(50)
+        st_, sp = rng.random(50), rng.random(50)
+        assert mae(dt, dp, st_, sp) <= rmse(dt, dp, st_, sp) + 1e-12
+
+
+class TestActiveStationMask:
+    def test_rule(self):
+        demand = np.array([[0.0, 1.0, 0.0]])
+        supply = np.array([[0.0, 0.0, 2.0]])
+        mask = active_station_mask(demand, supply)
+        np.testing.assert_array_equal(mask, [[False, True, True]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            active_station_mask(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestRushHours:
+    def test_morning_window_96_slots(self):
+        slots = rush_hour_slots(96, "morning")
+        # 07:00-10:00 at 15-minute slots = 12 slots, indices 28..39.
+        assert len(slots) == 12
+        assert slots[0] == 28
+        assert slots[-1] == 39
+
+    def test_evening_window_96_slots(self):
+        slots = rush_hour_slots(96, "evening")
+        assert len(slots) == 12
+        assert slots[0] == 68
+
+    def test_hourly_slots(self):
+        slots = rush_hour_slots(24, "morning")
+        np.testing.assert_array_equal(slots, [7, 8, 9])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            rush_hour_slots(96, "midnight")
+
+    def test_mask_over_absolute_times(self):
+        times = np.array([7, 31, 24 + 8])  # spd=24: slots 7, 7 (next day?), 8
+        mask = rush_hour_mask(times, 24, "morning")
+        np.testing.assert_array_equal(mask, [True, True, True])
+
+    def test_mask_excludes_off_peak(self):
+        mask = rush_hour_mask(np.array([0, 12, 23]), 24, "morning")
+        assert not mask.any()

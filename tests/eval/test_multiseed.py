@@ -1,0 +1,30 @@
+"""Multi-seed aggregation."""
+
+import pytest
+
+from repro.eval import EvalResult, SeedSweepResult, evaluate_over_seeds
+
+
+def fake_run(seed: int) -> EvalResult:
+    return EvalResult(rmse=1.0 + 0.1 * seed, mae=0.5 + 0.05 * seed, num_samples=10)
+
+
+class TestEvaluateOverSeeds:
+    def test_mean_and_std(self):
+        sweep = evaluate_over_seeds(fake_run, [0, 1, 2])
+        assert sweep.rmse_mean == pytest.approx(1.1)
+        assert sweep.rmse_std == pytest.approx(0.1 * (2 / 3) ** 0.5)
+        assert sweep.mae_mean == pytest.approx(0.55)
+        assert len(sweep.per_seed) == 3
+
+    def test_single_seed_zero_std(self):
+        sweep = evaluate_over_seeds(fake_run, [4])
+        assert sweep.rmse_std == 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_over_seeds(fake_run, [])
+
+    def test_str_format(self):
+        text = str(evaluate_over_seeds(fake_run, [0, 1]))
+        assert "±" in text and "2 seeds" in text

@@ -1,0 +1,50 @@
+"""Text report rendering."""
+
+import pytest
+
+from repro.eval import EvalResult, comparison_table, series_table
+
+
+def result(rmse, mae):
+    return EvalResult(rmse=rmse, mae=mae, num_samples=10)
+
+
+class TestComparisonTable:
+    def test_contains_all_methods_and_values(self):
+        rows = [
+            ("HA", result(3.5, 2.1), result(3.2, 2.0)),
+            ("STGNN-DJD", result(1.2, 1.0), result(1.3, 1.1)),
+        ]
+        paper = {"HA": (3.81, 3.09, 3.52, 3.32),
+                 "STGNN-DJD": (1.18, 1.10, 1.33, 1.21)}
+        text = comparison_table("Table I", rows, paper)
+        assert "Table I" in text
+        assert "HA" in text and "STGNN-DJD" in text
+        assert "3.500" in text and "3.81" in text
+        assert "1.200" in text and "1.18" in text
+
+    def test_missing_paper_entry_renders_nan(self):
+        rows = [("Custom", result(1.0, 1.0), result(1.0, 1.0))]
+        text = comparison_table("T", rows, {})
+        assert "nan" in text
+
+    def test_custom_city_labels(self):
+        rows = [("HA", result(1.0, 1.0), result(1.0, 1.0))]
+        text = comparison_table("T", rows, {}, city_labels=("NYC", "SF"))
+        assert "NYC RMSE" in text and "SF MAE" in text
+
+
+class TestSeriesTable:
+    def test_columns_per_x(self):
+        text = series_table(
+            "Fig", "m", [1, 2, 3],
+            {"Chicago": [1.5, 1.3, 1.2]},
+            {"Chicago": [1.75, 1.45, 1.30]},
+        )
+        assert "Fig" in text
+        assert "1.500" in text and "1.75" in text
+        assert "Chicago (paper)" in text
+
+    def test_paper_optional(self):
+        text = series_table("Fig", "x", [1], {"a": [2.0]})
+        assert "(paper)" not in text

@@ -1,0 +1,92 @@
+"""Flow-convoluted graph construction (Def. 2 / Eq. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import FlowConvolution, FlowConvolutionOutput, build_fcg
+from repro.tensor import Tensor
+
+
+def output_from(features, inflow, outflow):
+    return FlowConvolutionOutput(
+        node_features=Tensor(np.asarray(features, dtype=float), requires_grad=True),
+        temporal_inflow=Tensor(np.asarray(inflow, dtype=float)),
+        temporal_outflow=Tensor(np.asarray(outflow, dtype=float)),
+    )
+
+
+class TestMask:
+    def test_edge_from_inflow(self):
+        inflow = np.zeros((3, 3))
+        inflow[0, 2] = 1.0  # I_hat[0,2] > 0 -> edge 2 -> 0
+        out = output_from(np.ones((3, 3)), inflow, np.zeros((3, 3)))
+        graph = build_fcg(out)
+        assert graph.mask[0, 2]
+        assert not graph.mask[2, 0]  # direction matters
+
+    def test_edge_from_outflow_transposed(self):
+        outflow = np.zeros((3, 3))
+        outflow[2, 0] = 1.0  # O_hat[2,0] > 0 -> edge 2 -> 0 (j=2, i=0)
+        out = output_from(np.ones((3, 3)), np.zeros((3, 3)), outflow)
+        graph = build_fcg(out)
+        assert graph.mask[0, 2]
+
+    def test_self_loops_always_present(self):
+        out = output_from(np.ones((4, 4)), np.zeros((4, 4)), np.zeros((4, 4)))
+        graph = build_fcg(out)
+        assert np.diag(graph.mask).all()
+
+    def test_neighbor_counts(self):
+        inflow = np.zeros((3, 3))
+        inflow[0, 1] = inflow[0, 2] = 1.0
+        out = output_from(np.ones((3, 3)), inflow, np.zeros((3, 3)))
+        graph = build_fcg(out)
+        assert graph.neighbor_counts()[0] == 3  # self + two in-edges
+
+
+class TestWeights:
+    def test_rows_with_positive_features_sum_to_one(self, rng):
+        n = 5
+        inflow = rng.random((n, n)) + 0.1  # dense graph
+        features = rng.random((n, n)) + 0.1  # all positive
+        graph = build_fcg(output_from(features, inflow, inflow))
+        np.testing.assert_allclose(graph.weights.data.sum(axis=1), np.ones(n), atol=1e-9)
+
+    def test_masked_pairs_get_zero_weight(self):
+        inflow = np.zeros((3, 3))
+        inflow[0, 1] = 1.0
+        features = np.ones((3, 3))
+        graph = build_fcg(output_from(features, inflow, np.zeros((3, 3))))
+        assert graph.weights.data[0, 2] == 0.0  # no edge 2 -> 0
+
+    def test_negative_features_clipped(self):
+        features = -np.ones((3, 3))
+        inflow = np.ones((3, 3))
+        graph = build_fcg(output_from(features, inflow, inflow))
+        assert (graph.weights.data == 0.0).all()
+
+    def test_weight_proportional_to_feature(self):
+        inflow = np.ones((3, 3))
+        features = np.array([[1.0, 2.0, 1.0], [1.0, 1.0, 1.0], [1.0, 1.0, 1.0]])
+        graph = build_fcg(output_from(features, inflow, inflow))
+        row = graph.weights.data[0]
+        assert row[1] == pytest.approx(0.5, abs=1e-9)
+        assert row[0] == pytest.approx(0.25, abs=1e-9)
+
+    def test_weights_differentiable_wrt_features(self, rng):
+        out = output_from(rng.random((4, 4)) + 0.1, np.ones((4, 4)), np.ones((4, 4)))
+        graph = build_fcg(out)
+        graph.weights.sum().backward()
+        assert out.node_features.grad is not None
+
+    def test_integration_with_flow_convolution(self, rng):
+        conv = FlowConvolution(4, 3, 2, rng)
+        out = conv(
+            Tensor(rng.poisson(3.0, (3, 4, 4)).astype(float)),
+            Tensor(rng.poisson(3.0, (3, 4, 4)).astype(float)),
+            Tensor(rng.poisson(3.0, (2, 4, 4)).astype(float)),
+            Tensor(rng.poisson(3.0, (2, 4, 4)).astype(float)),
+        )
+        graph = build_fcg(out)
+        assert graph.num_nodes == 4
+        assert (graph.weights.data >= 0).all()

@@ -1,0 +1,54 @@
+"""Pattern correlation graph (Def. 3 / Eqs. 11-12)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_pcg
+from repro.nn import PairwiseAdditiveAttention
+from repro.tensor import Tensor
+
+
+class TestBuildPCG:
+    def test_dense_attention_rows_sum_to_one(self, rng):
+        attention = PairwiseAdditiveAttention(4, rng)
+        graph = build_pcg(Tensor(rng.normal(size=(6, 4))), attention)
+        np.testing.assert_allclose(graph.attention.data.sum(axis=1), np.ones(6))
+
+    def test_all_weights_positive(self, rng):
+        attention = PairwiseAdditiveAttention(4, rng)
+        graph = build_pcg(Tensor(rng.normal(size=(6, 4))), attention)
+        assert (graph.attention.data > 0).all()  # dense: global dependency
+
+    def test_num_nodes(self, rng):
+        attention = PairwiseAdditiveAttention(3, rng)
+        graph = build_pcg(Tensor(rng.normal(size=(7, 3))), attention)
+        assert graph.num_nodes == 7
+
+    def test_identical_patterns_get_identical_attention_columns(self, rng):
+        """Stations with identical features receive identical attention
+        from everyone — the 'similar patterns correlate' mechanism."""
+        attention = PairwiseAdditiveAttention(4, rng)
+        features = rng.normal(size=(5, 4))
+        features[3] = features[1]  # station 3 mirrors station 1
+        graph = build_pcg(Tensor(features), attention)
+        np.testing.assert_allclose(
+            graph.attention.data[:, 1], graph.attention.data[:, 3], atol=1e-12
+        )
+
+    def test_attention_is_time_varying(self, rng):
+        """Different node features (different t) change the edges."""
+        attention = PairwiseAdditiveAttention(4, rng)
+        g1 = build_pcg(Tensor(rng.normal(size=(5, 4))), attention)
+        g2 = build_pcg(Tensor(rng.normal(size=(5, 4))), attention)
+        assert not np.allclose(g1.attention.data, g2.attention.data)
+
+    def test_rejects_non_2d_features(self, rng):
+        attention = PairwiseAdditiveAttention(4, rng)
+        with pytest.raises(ValueError):
+            build_pcg(Tensor(np.zeros((2, 3, 4))), attention)
+
+    def test_gradient_flows_to_attention_params(self, rng):
+        attention = PairwiseAdditiveAttention(4, rng)
+        graph = build_pcg(Tensor(rng.normal(size=(5, 4))), attention)
+        (graph.attention * Tensor(rng.normal(size=(5, 5)))).sum().backward()
+        assert attention.weight.grad is not None

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs end-to-end (small settings)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "--stations", "8", "--days", "10",
+                             "--epochs", "2")
+        assert result.returncode == 0, result.stderr
+        assert "STGNN-DJD" in result.stdout
+        assert "Historical Average" in result.stdout
+
+    def test_rush_hour_operations(self):
+        result = run_example("rush_hour_operations.py", "--epochs", "2")
+        assert result.returncode == 0, result.stderr
+        assert "morning rush" in result.stdout
+        assert "net outflow" in result.stdout
+
+    def test_case_study_dependency(self):
+        result = run_example("case_study_dependency.py", "--epochs", "2")
+        assert result.returncode == 0, result.stderr
+        assert "locality-prior" in result.stdout
+        assert "monotonicity" in result.stdout
+
+    def test_multi_step_forecast(self):
+        result = run_example("multi_step_forecast.py", "--epochs", "2",
+                             "--horizon", "2")
+        assert result.returncode == 0, result.stderr
+        assert "step" in result.stdout
+
+    def test_city_analytics(self):
+        result = run_example("city_analytics.py")
+        assert result.returncode == 0, result.stderr
+        assert "Top stations by demand" in result.stdout
+        assert "OD pairs" in result.stdout
+
+    def test_train_save_deploy(self, tmp_path):
+        result = run_example("train_save_deploy.py", "--epochs", "2",
+                             "--checkpoint", str(tmp_path / "m.npz"))
+        assert result.returncode == 0, result.stderr
+        assert "mean latency" in result.stdout
+        assert (tmp_path / "m.npz").exists()
+
+    def test_custom_data_pipeline(self, tmp_path):
+        result = run_example("custom_data_pipeline.py", "--epochs", "2",
+                             "--workdir", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert "Cleaning report" in result.stdout
+        assert "Test result" in result.stdout

@@ -1,0 +1,109 @@
+"""Layers: Linear, Conv1x1 (vs manual math), Dropout, LayerNorm."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv1x1, Dropout, LayerNorm, Linear
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_gradients_flow_to_both_params(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer(Tensor(rng.normal(size=(4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_deterministic_from_seed(self):
+        l1 = Linear(3, 2, rng=np.random.default_rng(9))
+        l2 = Linear(3, 2, rng=np.random.default_rng(9))
+        np.testing.assert_allclose(l1.weight.data, l2.weight.data)
+
+
+class TestConv1x1:
+    def test_forward_is_channel_weighted_sum(self, rng):
+        conv = Conv1x1(channels=4, field_shape=(3, 3), rng=rng)
+        x = rng.normal(size=(4, 3, 3))
+        out = conv(Tensor(x))
+        expected = np.tensordot(conv.weight.data, x, axes=(0, 0)) + conv.bias.data
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_wrong_channel_count_rejected(self, rng):
+        conv = Conv1x1(channels=4, field_shape=(3, 3), rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((5, 3, 3))))
+
+    def test_wrong_field_shape_rejected(self, rng):
+        conv = Conv1x1(channels=4, field_shape=(3, 3), rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((4, 2, 3))))
+
+    def test_gradcheck_weight(self, rng):
+        conv = Conv1x1(channels=3, field_shape=(2, 2), rng=rng)
+        x = rng.normal(size=(3, 2, 2))
+        conv(Tensor(x)).sum().backward()
+        # d(sum)/dW[c] = sum of channel c of x.
+        np.testing.assert_allclose(conv.weight.grad, x.sum(axis=(1, 2)), atol=1e-10)
+        np.testing.assert_allclose(conv.bias.grad, np.ones((2, 2)))
+
+    def test_needs_positive_channels(self):
+        with pytest.raises(ValueError):
+            Conv1x1(channels=0, field_shape=(2, 2))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(10, 10)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_training_zeros_roughly_rate(self, rng):
+        layer = Dropout(0.4, rng=rng)
+        out = layer(Tensor(np.ones((200, 200))))
+        zero_fraction = (out.data == 0).mean()
+        assert zero_fraction == pytest.approx(0.4, abs=0.02)
+
+    def test_scaling_preserves_expectation(self, rng):
+        layer = Dropout(0.4, rng=rng)
+        out = layer(Tensor(np.ones((300, 300))))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_rate_zero_identity_even_in_training(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = Tensor(np.ones((4, 4)))
+        assert layer(x) is x
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        layer = LayerNorm(8)
+        x = Tensor(rng.normal(loc=5.0, scale=3.0, size=(10, 8)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(10), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(10), atol=1e-2)
+
+    def test_learnable_shift(self, rng):
+        layer = LayerNorm(4)
+        layer.beta.data[:] = 7.0
+        out = layer(Tensor(rng.normal(size=(3, 4)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.full(3, 7.0), atol=1e-7)

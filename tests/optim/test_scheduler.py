@@ -1,0 +1,62 @@
+"""Learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import SGD, ReduceOnPlateau, StepLR
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        opt = make_opt()
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == 0.5
+        sched.step()
+        sched.step()
+        assert opt.lr == 0.25
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=1, gamma=0.0)
+
+
+class TestReduceOnPlateau:
+    def test_reduces_after_patience(self):
+        opt = make_opt()
+        sched = ReduceOnPlateau(opt, factor=0.5, patience=2)
+        sched.step(1.0)  # best
+        sched.step(1.0)  # bad 1
+        sched.step(1.0)  # bad 2 -> cut
+        assert opt.lr == 0.5
+
+    def test_improvement_resets_counter(self):
+        opt = make_opt()
+        sched = ReduceOnPlateau(opt, factor=0.5, patience=2)
+        sched.step(1.0)
+        sched.step(1.0)  # bad 1
+        sched.step(0.5)  # improvement
+        sched.step(0.6)  # bad 1 again
+        assert opt.lr == 1.0
+
+    def test_respects_min_lr(self):
+        opt = make_opt(lr=1e-6)
+        sched = ReduceOnPlateau(opt, factor=0.1, patience=1, min_lr=1e-6)
+        sched.step(1.0)
+        sched.step(1.0)
+        assert opt.lr == pytest.approx(1e-6)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ReduceOnPlateau(make_opt(), factor=1.5)
+        with pytest.raises(ValueError):
+            ReduceOnPlateau(make_opt(), patience=0)

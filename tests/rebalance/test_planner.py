@@ -1,0 +1,100 @@
+"""Rebalancing planner."""
+
+import numpy as np
+import pytest
+
+from repro.rebalance import forecast_shortages, plan_rebalancing
+
+
+def line_distances(n):
+    """Stations on a line: distance = |i - j| km."""
+    idx = np.arange(n)
+    return np.abs(idx[:, None] - idx[None, :]).astype(float)
+
+
+class TestPlanRebalancing:
+    def test_simple_match(self):
+        # Station 0 needs 3, station 2 has 3 spare.
+        net = np.array([3.0, 0.0, -3.0])
+        plan = plan_rebalancing(net, line_distances(3))
+        assert plan.total_bikes_moved == 3
+        assert plan.unmet_shortage == 0.0
+        assert plan.moves[0].source == 2
+        assert plan.moves[0].destination == 0
+
+    def test_prefers_nearest_source(self):
+        # Deficit at 0; surpluses at 1 (near) and 3 (far).
+        net = np.array([4.0, -4.0, 0.0, -4.0])
+        plan = plan_rebalancing(net, line_distances(4))
+        assert plan.moves[0].source == 1  # nearest first
+        assert plan.total_bikes_moved == 4
+
+    def test_worst_shortage_served_first(self):
+        net = np.array([2.0, 5.0, -4.0])
+        plan = plan_rebalancing(net, line_distances(3))
+        assert plan.moves[0].destination == 1  # bigger deficit first
+        # Only 4 bikes available for 7 needed.
+        assert plan.unmet_shortage == pytest.approx(3.0)
+
+    def test_unmet_when_no_surplus(self):
+        net = np.array([5.0, 0.0, 0.0])
+        plan = plan_rebalancing(net, line_distances(3))
+        assert plan.moves == ()
+        assert plan.unmet_shortage == pytest.approx(5.0)
+
+    def test_min_move_threshold(self):
+        net = np.array([0.4, -0.4])
+        plan = plan_rebalancing(net, line_distances(2), min_move=1)
+        assert plan.total_bikes_moved == 0
+
+    def test_capacity_splits_moves(self):
+        net = np.array([6.0, -6.0])
+        plan = plan_rebalancing(net, line_distances(2), capacity_per_move=2)
+        assert len(plan.moves) == 3
+        assert all(m.bikes == 2 for m in plan.moves)
+        assert plan.total_bikes_moved == 6
+
+    def test_bike_km_accounting(self):
+        net = np.array([2.0, 0.0, -2.0])
+        plan = plan_rebalancing(net, line_distances(3))
+        assert plan.total_bike_km == pytest.approx(2 * 2.0)
+
+    def test_conservation(self):
+        """Bikes moved never exceed total surplus or total deficit."""
+        rng = np.random.default_rng(0)
+        net = rng.normal(0, 5, size=10)
+        plan = plan_rebalancing(net, line_distances(10))
+        surplus = -net[net < 0].sum()
+        deficit = net[net > 0].sum()
+        assert plan.total_bikes_moved <= surplus + 1e-9
+        assert plan.total_bikes_moved <= deficit + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_rebalancing(np.zeros(3), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            plan_rebalancing(np.zeros(2), np.zeros((2, 2)), min_move=0)
+
+    def test_str(self):
+        plan = plan_rebalancing(np.array([1.0, -1.0]), line_distances(2))
+        assert "1 moves" in str(plan)
+
+
+class TestForecastShortages:
+    def test_sums_predictions(self, tiny_dataset):
+        class Oracle:
+            def predict(self, t):
+                return tiny_dataset.demand[t].copy(), tiny_dataset.supply[t].copy()
+
+        times = np.arange(tiny_dataset.min_history, tiny_dataset.min_history + 3)
+        net = forecast_shortages(Oracle(), tiny_dataset, times)
+        expected = (tiny_dataset.demand[times] - tiny_dataset.supply[times]).sum(axis=0)
+        np.testing.assert_allclose(net, expected)
+
+    def test_empty_times_rejected(self, tiny_dataset):
+        class Oracle:
+            def predict(self, t):
+                return tiny_dataset.demand[t], tiny_dataset.supply[t]
+
+        with pytest.raises(ValueError):
+            forecast_shortages(Oracle(), tiny_dataset, np.array([]))

@@ -1,0 +1,76 @@
+"""Edge cases of the tensor engine: odd indexing, empty-ish shapes."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, concat, ops
+
+
+class TestIndexingEdgeCases:
+    def test_boolean_mask_getitem(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        mask = np.array([True, False, True, False, True])
+        (x[mask] ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.0, 4.0, 0.0, 8.0])
+
+    def test_negative_index(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        x[-1].backward()
+        np.testing.assert_allclose(x.grad, [0, 0, 0, 1])
+
+    def test_2d_row_and_column(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        (x[:, 1]).sum().backward()
+        expected = np.zeros((2, 3))
+        expected[:, 1] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_step_slice(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x[::2].sum().backward()
+        np.testing.assert_allclose(x.grad, [1, 0, 1, 0, 1, 0])
+
+
+class TestDegenerateShapes:
+    def test_scalar_tensor_ops(self):
+        x = Tensor(2.0, requires_grad=True)
+        ((x + 1.0) * 3.0).backward()
+        assert x.grad == pytest.approx(3.0)
+
+    def test_single_element_softmax(self):
+        s = Tensor([[5.0]]).softmax(axis=-1)
+        np.testing.assert_allclose(s.data, [[1.0]])
+
+    def test_single_row_concat(self):
+        out = concat([Tensor([[1.0]]), Tensor([[2.0]])], axis=0)
+        assert out.shape == (2, 1)
+
+    def test_sum_of_empty_axis_result(self):
+        x = Tensor(np.ones((3, 1)))
+        assert x.sum(axis=1).shape == (3,)
+
+
+class TestNumericalEdges:
+    def test_sigmoid_extreme_values_no_overflow(self):
+        s = Tensor([-1000.0, 1000.0]).sigmoid()
+        np.testing.assert_allclose(s.data, [0.0, 1.0], atol=1e-12)
+        assert np.isfinite(s.data).all()
+
+    def test_elu_large_negative_saturates(self):
+        out = Tensor([-500.0]).elu()
+        assert out.data[0] == pytest.approx(-1.0)
+
+    def test_softmax_one_dominant_entry(self):
+        s = Tensor([0.0, 500.0]).softmax()
+        np.testing.assert_allclose(s.data, [0.0, 1.0], atol=1e-12)
+
+    def test_clip_gradient_at_boundaries_is_zero_outside(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_masked_softmax_single_allowed_entry(self):
+        out = ops.masked_softmax(
+            Tensor([[5.0, -3.0, 2.0]]), np.array([[False, True, False]])
+        )
+        np.testing.assert_allclose(out.data, [[0.0, 1.0, 0.0]])

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) of autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.tensor import Tensor, ops
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(max_dims=2, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(max_dims=max_dims, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+class TestAlgebraicIdentities:
+    @given(small_arrays())
+    def test_add_commutes(self, a):
+        x, y = Tensor(a), Tensor(a * 2.0)
+        np.testing.assert_allclose((x + y).data, (y + x).data)
+
+    @given(small_arrays())
+    def test_double_negation(self, a):
+        np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+    @given(small_arrays())
+    def test_sub_self_is_zero_grad_two(self, a):
+        # d/dx (x + x) = 2 everywhere.
+        x = Tensor(a, requires_grad=True)
+        (x + x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(a, 2.0))
+
+    @given(small_arrays())
+    def test_relu_idempotent(self, a):
+        once = Tensor(a).relu()
+        twice = once.relu()
+        np.testing.assert_allclose(once.data, twice.data)
+
+    @given(small_arrays())
+    def test_exp_always_positive(self, a):
+        assert (Tensor(a).exp().data > 0).all()
+
+
+class TestSoftmaxProperties:
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+            elements=finite_floats,
+        )
+    )
+    def test_rows_sum_to_one(self, a):
+        s = Tensor(a).softmax(axis=-1)
+        np.testing.assert_allclose(s.data.sum(axis=-1), np.ones(a.shape[0]), atol=1e-9)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+            elements=finite_floats,
+        ),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+    )
+    def test_shift_invariance(self, a, shift):
+        s1 = Tensor(a).softmax(axis=-1)
+        s2 = Tensor(a + shift).softmax(axis=-1)
+        np.testing.assert_allclose(s1.data, s2.data, atol=1e-9)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 6), st.integers(2, 6)),
+            elements=finite_floats,
+        )
+    )
+    def test_masked_softmax_zero_outside_mask(self, a):
+        rng = np.random.default_rng(abs(int(a.sum() * 1000)) % (2**32))
+        mask = rng.random(a.shape) > 0.4
+        out = ops.masked_softmax(Tensor(a), mask).data
+        assert (out[~mask] == 0.0).all()
+        row_sums = out.sum(axis=-1)
+        has_any = mask.any(axis=-1)
+        np.testing.assert_allclose(row_sums[has_any], 1.0, atol=1e-9)
+        np.testing.assert_allclose(row_sums[~has_any], 0.0)
+
+
+class TestUnbroadcast:
+    @given(small_arrays(max_dims=2, max_side=4))
+    def test_unbroadcast_inverts_broadcast_shape(self, a):
+        target = np.broadcast_to(a, (3,) + a.shape)
+        reduced = ops.unbroadcast(np.ones_like(target), a.shape)
+        assert reduced.shape == a.shape
+        np.testing.assert_allclose(reduced, np.full(a.shape, 3.0))
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    def test_unbroadcast_size_one_axes(self, rows, cols):
+        grad = np.ones((rows, cols))
+        reduced = ops.unbroadcast(grad, (rows, 1))
+        np.testing.assert_allclose(reduced, np.full((rows, 1), float(cols)))
+
+
+class TestGradientLinearity:
+    @given(small_arrays(), st.floats(min_value=0.1, max_value=5.0, allow_nan=False))
+    @settings(max_examples=25)
+    def test_backward_scales_linearly(self, a, scale):
+        x1 = Tensor(a, requires_grad=True)
+        (x1 * x1).sum().backward()
+        x2 = Tensor(a, requires_grad=True)
+        ((x2 * x2).sum() * scale).backward()
+        np.testing.assert_allclose(x2.grad, x1.grad * scale, atol=1e-8, rtol=1e-8)
+
+    @given(small_arrays())
+    @settings(max_examples=25)
+    def test_sum_grad_is_ones(self, a):
+        x = Tensor(a, requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))

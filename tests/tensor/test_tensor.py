@@ -1,0 +1,150 @@
+"""Tests of the Tensor class itself: graph recording, backward, modes."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+
+class TestConstruction:
+    def test_data_is_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_item_rejects_vectors(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x * x + x
+        y.backward()
+        assert y.item() == 6.0
+        assert x.grad == pytest.approx(5.0)  # 2x + 1
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(3.0, requires_grad=True)
+        (x * x).backward()
+        (x * x).backward()
+        assert x.grad == pytest.approx(12.0)
+
+    def test_zero_grad(self):
+        x = Tensor(3.0, requires_grad=True)
+        (x * x).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3.0
+        y.backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+    def test_backward_rejects_wrong_gradient_shape(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(ValueError):
+            y.backward(np.zeros(3))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = x*x + x*x: gradient should be 4x, exercising fan-out.
+        x = Tensor(3.0, requires_grad=True)
+        a = x * x
+        b = x * x
+        (a + b).backward()
+        assert x.grad == pytest.approx(12.0)
+
+    def test_shared_subexpression(self):
+        x = Tensor(2.0, requires_grad=True)
+        shared = x * 3.0
+        y = shared * shared  # (3x)^2 -> dy/dx = 18x
+        y.backward()
+        assert x.grad == pytest.approx(36.0)
+
+    def test_deep_chain_does_not_recurse(self):
+        # Depth beyond Python's default recursion limit.
+        x = Tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.backward()
+        assert x.grad == pytest.approx(1.0)
+
+    def test_no_grad_through_constant_branch(self):
+        x = Tensor(2.0, requires_grad=True)
+        c = Tensor(5.0)  # constant
+        y = x * c
+        y.backward()
+        assert x.grad == pytest.approx(5.0)
+        assert c.grad is None
+
+
+class TestNoGrad:
+    def test_flag_toggles(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_graph_recorded(self):
+        x = Tensor(2.0, requires_grad=True)
+        with no_grad():
+            y = x * x
+        assert not y.requires_grad
+
+    def test_nested_restores(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_tensor_created_inside_no_grad_is_detached(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+
+
+class TestDetach:
+    def test_detach_shares_data_cuts_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        d = x.detach()
+        assert d.data is x.data
+        assert not d.requires_grad
+
+    def test_detach_blocks_gradient(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x.detach() * x
+        y.backward()
+        assert x.grad == pytest.approx(2.0)  # only the non-detached path

@@ -1,0 +1,62 @@
+"""Utilities: seeding, timing, logging."""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, get_logger, seeded_rng, spawn_rngs
+
+
+class TestSeeding:
+    def test_same_seed_same_stream(self):
+        a = seeded_rng(5).random(10)
+        b = seeded_rng(5).random(10)
+        np.testing.assert_allclose(a, b)
+
+    def test_spawned_rngs_independent(self):
+        children = spawn_rngs(seeded_rng(1), 3)
+        draws = [c.random(5) for c in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_deterministic(self):
+        a = [c.random(3) for c in spawn_rngs(seeded_rng(2), 2)]
+        b = [c.random(3) for c in spawn_rngs(seeded_rng(2), 2)]
+        np.testing.assert_allclose(a[0], b[0])
+        np.testing.assert_allclose(a[1], b[1])
+
+    def test_spawn_rejects_zero(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(seeded_rng(0), 0)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer:
+                time.sleep(0.001)
+        assert timer.count == 3
+        assert timer.total >= 0.003
+        assert timer.mean == pytest.approx(timer.total / 3)
+
+    def test_mean_of_unused_timer(self):
+        assert Timer().mean == 0.0
+
+
+class TestLogger:
+    def test_namespaced(self):
+        logger = get_logger("unit")
+        assert logger.name == "repro.unit"
+
+    def test_handler_attached_once(self):
+        l1 = get_logger("once")
+        l2 = get_logger("once")
+        assert l1 is l2
+        assert len(l1.handlers) == 1
+
+    def test_level_configurable(self):
+        logger = get_logger("lvl", level=logging.DEBUG)
+        assert logger.level == logging.DEBUG
