@@ -17,7 +17,8 @@ Quickstart::
     Trainer(model, dataset).fit(epochs=5)
 """
 
-from repro.tensor import Tensor, no_grad
+from repro import backend
+from repro.tensor import Tensor, inference_mode, no_grad
 from repro.data import (
     BikeShareDataset,
     FlowDataConfig,
@@ -36,6 +37,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Tensor",
     "no_grad",
+    "inference_mode",
+    "backend",
     "TripRecord",
     "Station",
     "StationRegistry",

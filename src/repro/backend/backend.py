@@ -1,0 +1,98 @@
+"""Dtype policy and array allocation for the compute substrate.
+
+The backend owns two things every layer above it used to hardcode:
+
+* the **default dtype** — ``float64`` globally (gradient checks compare
+  against finite differences at 1e-6 tolerances and need the headroom),
+  switchable to ``float32`` for inference where memory bandwidth, not
+  precision, is the bottleneck;
+* the **allocators** — every array the substrate materialises
+  (:func:`asarray`, :func:`zeros`, :func:`ones`, :func:`empty`) goes
+  through here, so a dtype change (or, later, an alternative array
+  library) is a one-module swap instead of a repo-wide grep.
+
+The policy is a thread-global stack: :func:`set_default_dtype` installs a
+new default, :func:`dtype_scope` scopes one to a ``with`` block. Training
+code that *must* run in double precision (gradient accumulation, the
+finite-difference checks) pins it explicitly with
+``dtype_scope(np.float64)`` rather than trusting the ambient default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+import numpy as np
+
+#: Dtypes the substrate supports. float16 is deliberately absent: numpy
+#: computes float16 by round-tripping through float32, so it is slower
+#: *and* less precise — there is no hardware half-precision to exploit.
+SUPPORTED_DTYPES = (np.float32, np.float64)
+
+_DEFAULT_DTYPE: np.dtype = np.dtype(np.float64)
+
+
+def resolve_dtype(dtype: "str | np.dtype | type | None") -> np.dtype:
+    """Canonicalise ``dtype`` (name, numpy type or dtype) to ``np.dtype``.
+
+    ``None`` resolves to the current default, so callers can thread an
+    optional dtype straight through without branching.
+    """
+    if dtype is None:
+        return _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in [np.dtype(d) for d in SUPPORTED_DTYPES]:
+        raise ValueError(
+            f"unsupported dtype {resolved}; supported: "
+            f"{[np.dtype(d).name for d in SUPPORTED_DTYPES]}"
+        )
+    return resolved
+
+
+def default_dtype() -> np.dtype:
+    """The dtype new tensors and parameters are allocated with."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype: "str | np.dtype | type") -> np.dtype:
+    """Install a new global default dtype; returns the previous one."""
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolve_dtype(dtype)
+    return previous
+
+
+@contextlib.contextmanager
+def dtype_scope(dtype: "str | np.dtype | type") -> Iterator[np.dtype]:
+    """Scope the default dtype to a ``with`` block (exception-safe)."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield _DEFAULT_DTYPE
+    finally:
+        set_default_dtype(previous)
+
+
+# ----------------------------------------------------------------------
+# Allocators
+# ----------------------------------------------------------------------
+def asarray(value, dtype: "str | np.dtype | type | None" = None) -> np.ndarray:
+    """Coerce ``value`` to an array of the backend (or given) dtype.
+
+    This is the single place raw python ints/floats/sequences acquire a
+    dtype — binary ops route their non-tensor operand through here so a
+    ``float32`` graph is never silently upcast by a python scalar.
+    """
+    return np.asarray(value, dtype=resolve_dtype(dtype))
+
+
+def zeros(shape, dtype=None) -> np.ndarray:
+    return np.zeros(shape, dtype=resolve_dtype(dtype))
+
+
+def ones(shape, dtype=None) -> np.ndarray:
+    return np.ones(shape, dtype=resolve_dtype(dtype))
+
+
+def empty(shape, dtype=None) -> np.ndarray:
+    return np.empty(shape, dtype=resolve_dtype(dtype))

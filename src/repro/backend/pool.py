@@ -1,0 +1,103 @@
+"""Scratch-buffer pool for the forward-only fast path.
+
+Online serving calls the model once per time slot with identically
+shaped inputs, so every intermediate array of slot ``t`` has an exact
+shape/dtype twin in slot ``t+1``. The pool exploits that: fused ops ask
+:meth:`BufferPool.take` for their output buffer instead of allocating,
+and the caller releases everything back in one stroke when the
+prediction is finished.
+
+Safety model — buffers handed out stay **in use** until
+:meth:`BufferPool.release_all`, so two ops inside one prediction can
+never alias each other's output. Reuse only happens *across* pool
+scopes (i.e. across prediction calls), which is exactly when the
+previous slot's intermediates are dead. The pool must therefore only be
+active while gradients are off: a recorded graph keeps intermediate
+arrays alive past the scope's end.
+
+Returned buffers are uninitialised (``np.empty`` semantics): takers must
+fully overwrite them, which the fused ops do by construction (``out=``
+targets of ``np.matmul`` / ``np.multiply``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+import numpy as np
+
+from repro.backend import backend
+
+
+class BufferPool:
+    """Shape/dtype-keyed free lists of reusable scratch arrays."""
+
+    __slots__ = ("_free", "_in_use", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._in_use: list[np.ndarray] = []
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, shape: tuple[int, ...], dtype=None) -> np.ndarray:
+        """A scratch array of ``shape``/``dtype`` with undefined contents."""
+        dtype = backend.resolve_dtype(dtype)
+        key = (tuple(shape), dtype)
+        free = self._free.get(key)
+        if free:
+            self.hits += 1
+            buffer = free.pop()
+        else:
+            self.misses += 1
+            buffer = np.empty(shape, dtype=dtype)
+        self._in_use.append(buffer)
+        return buffer
+
+    def release_all(self) -> None:
+        """Return every outstanding buffer to the free lists."""
+        for buffer in self._in_use:
+            self._free.setdefault((buffer.shape, buffer.dtype), []).append(buffer)
+        self._in_use.clear()
+
+    def clear(self) -> None:
+        """Drop all buffers (frees the memory; outstanding takes unaffected)."""
+        self._free.clear()
+        self._in_use.clear()
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._in_use)
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(outstanding={self.outstanding}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_ACTIVE_POOL: BufferPool | None = None
+
+
+def active_pool() -> BufferPool | None:
+    """The pool fused ops should draw from, or None outside a scope."""
+    return _ACTIVE_POOL
+
+
+@contextlib.contextmanager
+def buffer_scope(pool: BufferPool | None = None) -> Iterator[BufferPool]:
+    """Activate ``pool`` (or a throwaway one) for the ``with`` block.
+
+    On exit every buffer taken inside the block is released for reuse by
+    the next scope over the same pool instance. Scopes nest: the inner
+    scope's pool shadows the outer one.
+    """
+    global _ACTIVE_POOL
+    previous = _ACTIVE_POOL
+    _ACTIVE_POOL = pool if pool is not None else BufferPool()
+    try:
+        yield _ACTIVE_POOL
+    finally:
+        _ACTIVE_POOL.release_all()
+        _ACTIVE_POOL = previous

@@ -1,0 +1,59 @@
+"""Op registry: the dispatch seam between layers and implementations.
+
+Every primitive the tensor engine exposes registers itself here under a
+stable name (``"add"``, ``"matmul"``, ``"linear"``, ...). Layers above
+keep calling the python functions directly — the registry costs nothing
+on the hot path — but the table gives the substrate an explicit,
+inspectable op surface:
+
+* an alternative backend (a C extension, a GPU array library) overrides
+  individual ops with :func:`override` instead of monkeypatching
+  modules;
+* tooling enumerates exactly which primitives a model exercises
+  (:func:`list_ops`), which is how the fused-kernel coverage tests know
+  the registry and the public op module agree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+_OPS: dict[str, Callable] = {}
+
+
+def register(name: str) -> Callable[[Callable], Callable]:
+    """Decorator registering ``fn`` as the implementation of op ``name``."""
+
+    def decorator(fn: Callable) -> Callable:
+        if name in _OPS:
+            raise ValueError(f"op {name!r} registered twice")
+        _OPS[name] = fn
+        return fn
+
+    return decorator
+
+
+def override(name: str, fn: Callable) -> Callable:
+    """Replace op ``name``'s implementation; returns the previous one."""
+    if name not in _OPS:
+        raise KeyError(f"cannot override unknown op {name!r}")
+    previous = _OPS[name]
+    _OPS[name] = fn
+    return previous
+
+
+def get_op(name: str) -> Callable:
+    """Look up the current implementation of op ``name``."""
+    try:
+        return _OPS[name]
+    except KeyError:
+        raise KeyError(f"unknown op {name!r}; known: {sorted(_OPS)}") from None
+
+
+def has_op(name: str) -> bool:
+    return name in _OPS
+
+
+def list_ops() -> list[str]:
+    """Sorted names of every registered primitive."""
+    return sorted(_OPS)

@@ -42,10 +42,10 @@ class MeanAggregator(Module):
     """Element-wise mean over ``{i} ∪ N(i)`` (GraphSAGE-mean)."""
 
     def forward(self, features: Tensor, weights: Tensor, mask: np.ndarray) -> Tensor:
-        mask = np.asarray(mask, dtype=np.float64)
+        mask = np.asarray(mask, dtype=features.data.dtype)
         degrees = mask.sum(axis=1, keepdims=True)
         degrees[degrees == 0] = 1.0  # isolated node keeps a zero vector
-        mean_weights = Tensor(mask / degrees)
+        mean_weights = Tensor(mask / degrees, dtype=features.data.dtype)
         return mean_weights @ features
 
 
@@ -64,11 +64,14 @@ class MaxAggregator(Module):
     def forward(self, features: Tensor, weights: Tensor, mask: np.ndarray) -> Tensor:
         transformed = self.transform(features).relu()  # (n, f)
         n = transformed.shape[0]
+        dtype = features.data.dtype
         # Broadcast to (n, n, f): entry [i, j] is neighbor j's embedding,
         # pushed to -inf where j is not adjacent to i so max ignores it.
         mask = np.asarray(mask, dtype=bool)
-        neighbor_matrix = transformed.reshape((1, n, -1)) * Tensor(np.ones((n, 1, 1)))
-        big_negative = Tensor(np.where(mask[:, :, None], 0.0, -1e30))
+        neighbor_matrix = transformed.reshape((1, n, -1)) * Tensor(
+            np.ones((n, 1, 1)), dtype=dtype
+        )
+        big_negative = Tensor(np.where(mask[:, :, None], 0.0, -1e30), dtype=dtype)
         return ops.max(neighbor_matrix + big_negative, axis=1)
 
 

@@ -18,11 +18,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import backend
 from repro.core.model import STGNNDJD
 from repro.data.dataset import BikeShareDataset
 from repro.nn import joint_demand_supply_loss, mse_loss
 from repro.optim import Adam, clip_grad_norm
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, inference_mode
 from repro.utils import get_logger
 
 logger = get_logger("trainer")
@@ -85,6 +86,8 @@ class Trainer:
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         self._rng = np.random.default_rng(self.config.seed)
         self._best_state: dict[str, np.ndarray] | None = None
+        # Scratch arrays recycled across predict() calls (see backend.pool).
+        self._pool = backend.BufferPool()
 
     # ------------------------------------------------------------------
     # Target normalisation
@@ -129,7 +132,17 @@ class Trainer:
     # Fitting
     # ------------------------------------------------------------------
     def fit(self, epochs: int | None = None) -> TrainingHistory:
-        """Train with early stopping; restores the best validation state."""
+        """Train with early stopping; restores the best validation state.
+
+        Training is pinned to ``float64`` regardless of any ambient
+        backend dtype scope: gradient accumulation and the early-stopping
+        loss comparisons need double precision, and the gradcheck suite
+        validates exactly this configuration.
+        """
+        with backend.dtype_scope(np.float64):
+            return self._fit(epochs)
+
+    def _fit(self, epochs: int | None) -> TrainingHistory:
         epochs = epochs or self.config.epochs
         train_idx, val_idx, _ = self.dataset.split_indices()
         train_idx, val_idx = self._usable(train_idx), self._usable(val_idx)
@@ -195,7 +208,7 @@ class Trainer:
         """Mean per-sample loss over ``indices`` without gradients."""
         self.model.eval()
         total = 0.0
-        with no_grad():
+        with inference_mode():
             for t in indices:
                 total += self._sample_loss(int(t)).item()
         self.model.train()
@@ -206,11 +219,15 @@ class Trainer:
 
         Shapes are ``(n,)`` for single-step models and ``(n, horizon)``
         for multi-step ones (column ``j`` predicts slot ``t + j``).
+
+        Runs on the forward-only fast path: no graph is recorded, and
+        intermediate arrays come from a buffer pool recycled across
+        calls — the denormalised outputs are fresh arrays, safe to keep.
         """
         self.model.eval()
-        with no_grad():
+        with inference_mode(), backend.buffer_scope(self._pool):
             demand_pred, supply_pred = self.model(self.dataset.sample(t))
+            demand = self.dataset.demand_normalizer.inverse_transform(demand_pred.data)
+            supply = self.dataset.supply_normalizer.inverse_transform(supply_pred.data)
         self.model.train()
-        demand = self.dataset.demand_normalizer.inverse_transform(demand_pred.data)
-        supply = self.dataset.supply_normalizer.inverse_transform(supply_pred.data)
         return demand, supply

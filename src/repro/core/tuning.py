@@ -13,7 +13,6 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-import numpy as np
 
 from repro.core.model import STGNNDJD
 from repro.core.trainer import Trainer, TrainingConfig

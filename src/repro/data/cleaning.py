@@ -8,7 +8,7 @@ discarding records is how reproduction bugs hide.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.data.records import MAX_TRIP_SECONDS, TripRecord
 

@@ -15,7 +15,7 @@ the Min-Max normalizers fitted on training data only (Sec. VII-A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

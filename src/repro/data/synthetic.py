@@ -28,7 +28,7 @@ and :meth:`SyntheticCityConfig.la_like` (few stations, sparse traffic).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from repro.data.cleaning import clean_trips
 from repro.data.dataset import BikeShareDataset, FlowDataConfig
 from repro.data.flows import build_flow_tensors
 from repro.data.records import SECONDS_PER_DAY, TripRecord
-from repro.data.stations import Station, StationRegistry, haversine_km
+from repro.data.stations import Station, StationRegistry
 
 # Station functional types.
 HOME, WORK, SCHOOL = 0, 1, 2

@@ -29,7 +29,6 @@ class StationSummary:
 
 def station_summaries(dataset: BikeShareDataset) -> list[StationSummary]:
     """Per-station activity summaries, sorted by total demand (desc)."""
-    spd = dataset.slots_per_day
     profile = daily_profile(dataset)  # (spd, n)
     summaries = []
     for station in range(dataset.num_stations):

@@ -50,8 +50,10 @@ def collect_predictions(
     if indices.size == 0:
         raise ValueError("cannot evaluate over an empty index set")
     n = dataset.num_stations
-    demand_pred = np.empty((len(indices), n))
-    supply_pred = np.empty((len(indices), n))
+    # Metrics accumulate in float64 even when the predictor serves
+    # float32: assignment below upcasts per row.
+    demand_pred = np.empty((len(indices), n), dtype=np.float64)
+    supply_pred = np.empty((len(indices), n), dtype=np.float64)
     for row, t in enumerate(indices):
         demand_pred[row], supply_pred[row] = predictor.predict(int(t))
     return (

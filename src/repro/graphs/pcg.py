@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.nn import PairwiseAdditiveAttention
 from repro.tensor import Tensor

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.tensor import Tensor, ops
+from repro.tensor import Tensor, is_grad_enabled, ops
 
 
 class PairwiseAdditiveAttention(Module):
@@ -39,19 +39,42 @@ class PairwiseAdditiveAttention(Module):
         self.attn_dst = Parameter(init.xavier_uniform((features, 1), rng), name="a_dst")
 
     def scores(self, features: Tensor) -> Tensor:
-        """Raw (pre-softmax) attention coefficients ``e(i, j)``, ELU-activated."""
-        projected = features @ self.weight  # (n, f)
-        src = projected @ self.attn_src  # (n, 1)
-        dst = projected @ self.attn_dst  # (n, 1)
-        # e[i, j] = ELU(src_i + dst_j) via broadcasting.
-        return (src + dst.T).elu()
+        """Raw (pre-softmax) attention coefficients ``e(i, j)``, ELU-activated.
+
+        ``e[i, j] = ELU(src_i + dst_j)`` — the projection plus the whole
+        broadcast-add-ELU pipeline runs as one fused kernel
+        (:func:`repro.tensor.ops.pairwise_scores`).
+        """
+        projected = ops.linear(features, self.weight)  # (n, f)
+        return ops.pairwise_scores(projected, self.attn_src, self.attn_dst)
 
     def forward(self, features: Tensor, mask: np.ndarray | None = None) -> Tensor:
         """Row-softmaxed attention matrix ``alpha`` (Eq. 12 / Eq. 16)."""
+        if mask is None and not is_grad_enabled():
+            return Tensor._from_data(self.weights_data(features.data))
         raw = self.scores(features)
         if mask is None:
-            return raw.softmax(axis=-1)
+            return ops.row_softmax(raw)
         return ops.masked_softmax(raw, mask, axis=-1)
+
+    def weights_data(self, features: np.ndarray) -> np.ndarray:
+        """Whole-module fused forward on raw arrays (no-grad serving path).
+
+        One python call replaces the projection / score / softmax op
+        chain. Every expression matches its op counterpart term for term
+        (:func:`~repro.tensor.ops.pairwise_scores`,
+        :func:`~repro.tensor.ops.row_softmax`), so float64 results are
+        bitwise identical to the recorded-graph forward.
+        """
+        projected = features @ self.weight.data
+        src = projected @ self.attn_src.data  # (n, 1)
+        dst = projected @ self.attn_dst.data  # (n, 1)
+        pre = src + dst.T
+        raw = np.where(pre > 0, pre, np.exp(np.minimum(pre, 0.0)) - 1.0)
+        shifted = raw - raw.max(axis=-1, keepdims=True)
+        np.exp(shifted, out=shifted)
+        shifted /= shifted.sum(axis=-1, keepdims=True)
+        return shifted
 
 
 class ScaledDotProductAttention(Module):
@@ -65,16 +88,14 @@ class ScaledDotProductAttention(Module):
         self.value = Parameter(init.xavier_uniform((model_dim, model_dim), rng))
 
     def forward(self, x: Tensor) -> Tensor:
-        q = x @ self.query
-        k = x @ self.key
-        v = x @ self.value
-        scale = 1.0 / np.sqrt(self.model_dim)
-        attention = ((q @ k.T) * scale).softmax(axis=-1)
-        return attention @ v
+        v = ops.linear(x, self.value)
+        return self.attention_matrix(x) @ v
 
     def attention_matrix(self, x: Tensor) -> Tensor:
         """Return just the attention weights (for inspection / case study)."""
-        q = x @ self.query
-        k = x @ self.key
+        q = ops.linear(x, self.query)
+        k = ops.linear(x, self.key)
+        # Folding the 1/sqrt(d) scale into the thin (n, d) query instead
+        # of the (n, n) score matrix touches d/n as much memory.
         scale = 1.0 / np.sqrt(self.model_dim)
-        return ((q @ k.T) * scale).softmax(axis=-1)
+        return ops.row_softmax((q * scale) @ k.T)

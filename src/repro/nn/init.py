@@ -4,11 +4,17 @@ All initializers take an explicit ``numpy.random.Generator`` so that
 every model in the repo is exactly reproducible from a seed — a
 requirement for the benchmark harness, which compares methods trained
 from identical initial conditions.
+
+Draws are always made in ``float64`` (so a seed produces the same
+weights regardless of dtype policy) and then cast to the backend's
+default dtype, which is where layers pull their parameter dtype from.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro import backend
 
 
 def xavier_uniform(
@@ -17,18 +23,20 @@ def xavier_uniform(
     """Glorot/Xavier uniform init, suited to tanh/sigmoid/linear layers."""
     fan_in, fan_out = _fans(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    draw = rng.uniform(-bound, bound, size=shape)
+    return draw.astype(backend.default_dtype(), copy=False)
 
 
 def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """He/Kaiming uniform init, suited to ReLU-family activations."""
     fan_in, _ = _fans(shape)
     bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    draw = rng.uniform(-bound, bound, size=shape)
+    return draw.astype(backend.default_dtype(), copy=False)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape)
+    return backend.zeros(shape)
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -38,10 +38,8 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        # Fused matmul+bias: one op (and one graph node) instead of two.
+        return ops.linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
@@ -80,10 +78,8 @@ class Conv1x1(Module):
             raise ValueError(
                 f"expected field shape {self.field_shape}, got {x.shape[1:]}"
             )
-        # (c, *field) -> (*field, c) @ (c,) -> (*field)
-        axes = tuple(range(1, x.ndim)) + (0,)
-        moved = ops.transpose(x, axes)
-        return ops.matmul(moved, self.weight) + self.bias
+        # Fused channel contraction: sum_c W[c] * x[c] + b in one kernel.
+        return ops.conv1x1(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"Conv1x1(channels={self.channels}, field={self.field_shape})"
@@ -106,8 +102,8 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.rate == 0.0:
             return x
-        mask = ops.dropout_mask(x.shape, self.rate, self._rng)
-        return x * Tensor(mask)
+        mask = ops.dropout_mask(x.shape, self.rate, self._rng, dtype=x.data.dtype)
+        return x * Tensor(mask, dtype=x.data.dtype)
 
     def __repr__(self) -> str:
         return f"Dropout(rate={self.rate})"

@@ -12,6 +12,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro import backend
 from repro.tensor import Tensor
 
 
@@ -74,8 +75,14 @@ class Module:
     # Training state
     # ------------------------------------------------------------------
     def train(self, mode: bool = True) -> "Module":
-        for module in self.modules():
-            module.training = mode
+        # Iterative walk with direct dict writes: the recursive generator
+        # chain plus the registration __setattr__ cost O(n * depth) per
+        # toggle, noticeable when serving flips eval/train per slot.
+        stack: list[Module] = [self]
+        while stack:
+            module = stack.pop()
+            module.__dict__["training"] = mode
+            stack.extend(module._modules.values())
         return self
 
     def eval(self) -> "Module":
@@ -84,6 +91,29 @@ class Module:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
+
+    def to(self, dtype: "str | np.dtype | type") -> "Module":
+        """Cast every parameter to ``dtype`` in place (torch's ``.to``).
+
+        The serving path casts a trained model once with
+        ``model.to(np.float32)`` and runs forwards under
+        ``inference_mode(dtype="float32")``; cast back to ``float64``
+        before resuming training (note the round trip truncates
+        mantissas — keep a ``state_dict`` snapshot when exact resumption
+        matters). Accumulated gradients are dropped, not cast.
+        """
+        resolved = backend.resolve_dtype(dtype)
+        for param in self.parameters():
+            param.data = param.data.astype(resolved, copy=False)
+            param.grad = None
+        return self
+
+    @property
+    def param_dtype(self) -> np.dtype:
+        """Dtype of the module's parameters (backend default if none)."""
+        for param in self.parameters():
+            return param.data.dtype
+        return backend.default_dtype()
 
     # ------------------------------------------------------------------
     # Serialization
@@ -102,7 +132,9 @@ class Module:
                 f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
             )
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            # Preserve the module's current dtype: a float32-cast model
+            # loading a float64 checkpoint stays float32, and vice versa.
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"parameter {name!r}: shape {value.shape} != expected {param.data.shape}"

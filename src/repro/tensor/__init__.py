@@ -12,7 +12,7 @@ through a broadcast are reduced with :func:`repro.tensor.ops.unbroadcast`
 so that every parameter receives a gradient of its own shape.
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.tensor import Tensor, inference_mode, is_grad_enabled, no_grad
 from repro.tensor import ops
 from repro.tensor.ops import (
     concat,
@@ -21,11 +21,16 @@ from repro.tensor.ops import (
     maximum,
     minimum,
     masked_softmax,
+    linear,
+    conv1x1,
+    row_softmax,
+    pairwise_scores,
 )
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "inference_mode",
     "is_grad_enabled",
     "ops",
     "concat",
@@ -34,4 +39,8 @@ __all__ = [
     "maximum",
     "minimum",
     "masked_softmax",
+    "linear",
+    "conv1x1",
+    "row_softmax",
+    "pairwise_scores",
 ]

@@ -4,6 +4,26 @@ Each op computes its forward result with numpy and returns a tensor whose
 ``_backward`` closure maps the upstream gradient to per-parent gradients.
 All binary ops support full numpy broadcasting; :func:`unbroadcast`
 reduces gradients back to each operand's original shape.
+
+Structure of every op::
+
+    data = <numpy forward>
+    if _no_graph(parents):            # no_grad()/inference_mode(), or no
+        return Tensor._from_data(data)  # parent requires grad
+    def backward(grad): ...           # closure built only when recording
+    return Tensor._make(data, parents, backward)
+
+The early return is the forward-only fast path: under ``no_grad()`` /
+``inference_mode()`` no backward closure, cell variables or parent tuple
+are allocated — per-op overhead drops to one numpy call plus one slotted
+``Tensor``. Hot-path *fused* ops (:func:`linear`, :func:`conv1x1`,
+:func:`row_softmax`, :func:`pairwise_scores`) additionally collapse
+multi-op numpy pipelines into single kernels with in-place arithmetic,
+and draw their output buffers from :mod:`repro.backend.pool` when a
+buffer scope is active.
+
+Every public op registers itself in :mod:`repro.backend.registry` under
+its function name, giving alternative backends a dispatch seam.
 """
 
 from __future__ import annotations
@@ -12,11 +32,51 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import active_pool, register
+from repro.tensor import tensor as _tensor_module
 from repro.tensor.tensor import Tensor
 
 
-def _wrap(value) -> Tensor:
-    return value if isinstance(value, Tensor) else Tensor(value)
+def _wrap(value, like: "Tensor | None" = None) -> Tensor:
+    """Coerce ``value`` to a Tensor, matching ``like``'s dtype if given.
+
+    The dtype match is the upcast fix: a python scalar entering a
+    ``float32`` graph becomes a ``float32`` constant instead of dragging
+    the whole expression to ``float64``.
+    """
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, dtype=like.data.dtype if like is not None else None)
+
+
+def _wrap_pair(a, b) -> tuple[Tensor, Tensor]:
+    """Wrap both operands of a binary op, non-tensors adopting the
+    tensor operand's dtype."""
+    a_is = isinstance(a, Tensor)
+    b_is = isinstance(b, Tensor)
+    if a_is and b_is:
+        return a, b
+    if a_is:
+        return a, Tensor(b, dtype=a.data.dtype)
+    if b_is:
+        return Tensor(a, dtype=b.data.dtype), b
+    return Tensor(a), Tensor(b)
+
+
+def _no_graph(*parents: Tensor) -> bool:
+    """True when no backward closure is needed for these parents."""
+    if not _tensor_module._GRAD_ENABLED:
+        return True
+    for parent in parents:
+        if parent.requires_grad:
+            return False
+    return True
+
+
+def _out_buffer(shape: tuple[int, ...], dtype) -> "np.ndarray | None":
+    """A pooled output buffer, or None when no buffer scope is active."""
+    pool = active_pool()
+    return pool.take(shape, dtype) if pool is not None else None
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -40,9 +100,12 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 # ----------------------------------------------------------------------
 # Arithmetic
 # ----------------------------------------------------------------------
+@register("add")
 def add(a, b) -> Tensor:
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     data = a.data + b.data
+    if _no_graph(a, b):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (unbroadcast(grad, a.shape), unbroadcast(grad, b.shape))
@@ -50,9 +113,12 @@ def add(a, b) -> Tensor:
     return Tensor._make(data, (a, b), backward)
 
 
+@register("sub")
 def sub(a, b) -> Tensor:
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     data = a.data - b.data
+    if _no_graph(a, b):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (unbroadcast(grad, a.shape), unbroadcast(-grad, b.shape))
@@ -60,9 +126,12 @@ def sub(a, b) -> Tensor:
     return Tensor._make(data, (a, b), backward)
 
 
+@register("mul")
 def mul(a, b) -> Tensor:
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     data = a.data * b.data
+    if _no_graph(a, b):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (
@@ -73,9 +142,12 @@ def mul(a, b) -> Tensor:
     return Tensor._make(data, (a, b), backward)
 
 
+@register("div")
 def div(a, b) -> Tensor:
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     data = a.data / b.data
+    if _no_graph(a, b):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (
@@ -86,19 +158,26 @@ def div(a, b) -> Tensor:
     return Tensor._make(data, (a, b), backward)
 
 
+@register("neg")
 def neg(a) -> Tensor:
     a = _wrap(a)
+    data = -a.data
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (-grad,)
 
-    return Tensor._make(-a.data, (a,), backward)
+    return Tensor._make(data, (a,), backward)
 
 
+@register("pow")
 def pow(a, exponent: float) -> Tensor:
     """Elementwise power with a constant (non-tensor) exponent."""
     a = _wrap(a)
     data = a.data**exponent
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (grad * exponent * a.data ** (exponent - 1),)
@@ -106,10 +185,13 @@ def pow(a, exponent: float) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("matmul")
 def matmul(a, b) -> Tensor:
     """Matrix product supporting 1-D and batched operands, as ``np.matmul``."""
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     data = a.data @ b.data
+    if _no_graph(a, b):
+        return Tensor._from_data(data)
 
     def backward(grad):
         a_data, b_data = a.data, b.data
@@ -135,21 +217,182 @@ def matmul(a, b) -> Tensor:
 
 
 # ----------------------------------------------------------------------
+# Fused hot-path kernels
+# ----------------------------------------------------------------------
+@register("linear")
+def linear(x, weight, bias=None) -> Tensor:
+    """Fused affine map ``x @ W (+ b)`` — one kernel instead of two ops.
+
+    The hot path of every ``Linear`` layer (and the value/self/mix
+    projections of the attention stacks). Fusing the bias add into the
+    fresh matmul result saves one full-size temporary and one graph node
+    per call; under an active buffer scope the output is written straight
+    into a pooled scratch array (``np.matmul(..., out=)``).
+    """
+    x = _wrap(x)
+    weight = _wrap(weight)
+    bias = _wrap(bias) if bias is not None else None
+    x_data, w_data = x.data, weight.data
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if _no_graph(*parents):
+        out = None
+        if x_data.ndim >= 2 and w_data.ndim == 2 and x_data.dtype == w_data.dtype:
+            buffer = _out_buffer(x_data.shape[:-1] + (w_data.shape[-1],), x_data.dtype)
+            if buffer is not None:
+                out = np.matmul(x_data, w_data, out=buffer)
+        if out is None:
+            out = x_data @ w_data
+        if bias is not None:
+            # In-place is safe: `out` is this op's own fresh/pooled array.
+            if np.can_cast(bias.data.dtype, out.dtype, casting="same_kind"):
+                out += bias.data
+            else:
+                out = out + bias.data
+        return Tensor._from_data(out)
+
+    data = x_data @ w_data
+    if bias is not None:
+        data = data + bias.data
+
+    def backward(grad):
+        if x_data.ndim == 1:
+            grad_x = grad @ np.swapaxes(w_data, -1, -2)
+            grad_w = np.outer(x_data, grad)
+        else:
+            grad_x = grad @ np.swapaxes(w_data, -1, -2)
+            grad_w = unbroadcast(np.swapaxes(x_data, -1, -2) @ grad, w_data.shape)
+        if bias is None:
+            return (unbroadcast(grad_x, x_data.shape), grad_w)
+        return (
+            unbroadcast(grad_x, x_data.shape),
+            grad_w,
+            unbroadcast(grad, bias.data.shape),
+        )
+
+    return Tensor._make(data, parents, backward)
+
+
+@register("conv1x1")
+def conv1x1(x, weight, bias) -> Tensor:
+    """Fused 1x1 channel convolution ``sum_c W[c] * x[c] + b``.
+
+    The flow-convolution kernel (Eqs. 1-4): ``x`` is ``(c, *field)``,
+    ``weight`` is ``(c,)`` and ``bias`` has the field shape. One
+    ``tensordot`` contracts the channel axis — replacing the seed path's
+    transpose + matmul + add (three ops, two large temporaries).
+    """
+    x, weight, bias = _wrap(x), _wrap(weight), _wrap(bias)
+    x_data, w_data = x.data, weight.data
+    # Channel contraction as a flat matvec: same BLAS dot as tensordot
+    # without tensordot's per-call transpose/reshape machinery.
+    out = (w_data @ x_data.reshape(w_data.shape[0], -1)).reshape(x_data.shape[1:])
+    if _no_graph(x, weight, bias):
+        if np.can_cast(bias.data.dtype, out.dtype, casting="same_kind"):
+            out += bias.data
+        else:
+            out = out + bias.data
+        return Tensor._from_data(out)
+
+    data = out + bias.data
+    field_axes = tuple(range(out.ndim))
+
+    def backward(grad):
+        grad_w = np.tensordot(grad, x_data, axes=(field_axes, tuple(range(1, x_data.ndim))))
+        grad_x = w_data.reshape((-1,) + (1,) * grad.ndim) * grad
+        return (grad_x, grad_w, grad)
+
+    return Tensor._make(data, (x, weight, bias), backward)
+
+
+@register("row_softmax")
+def row_softmax(a) -> Tensor:
+    """Softmax over the last axis, fused shift-exp-normalise.
+
+    The attention hot path (Eqs. 12/16 row softmax): the shifted logits
+    are exponentiated and normalised in place, so the whole op
+    materialises a single full-size array (pooled under a buffer scope)
+    instead of three.
+    """
+    a = _wrap(a)
+    a_data = a.data
+    buffer = _out_buffer(a_data.shape, a_data.dtype) if _no_graph(a) else None
+    if buffer is not None:
+        shifted = np.subtract(a_data, a_data.max(axis=-1, keepdims=True), out=buffer)
+    else:
+        shifted = a_data - a_data.max(axis=-1, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=-1, keepdims=True)
+    data = shifted
+    if _no_graph(a):
+        return Tensor._from_data(data)
+
+    def backward(grad):
+        inner = (grad * data).sum(axis=-1, keepdims=True)
+        return (data * (grad - inner),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+@register("pairwise_scores")
+def pairwise_scores(projected, attn_src, attn_dst, alpha: float = 1.0) -> Tensor:
+    """Fused additive-attention score kernel ``ELU(P a_src + (P a_dst)^T)``.
+
+    Computes the full ``(n, n)`` pre-softmax coefficient matrix of
+    Eqs. 11/15 in one op: two thin ``(n, f) @ (f, 1)`` projections, one
+    broadcast outer add, and the ELU applied in place — replacing five
+    recorded ops (two matmuls, transpose, add, elu) and their closures.
+    The forward math matches the unfused path term for term, so float64
+    results are bitwise identical.
+    """
+    projected, attn_src, attn_dst = _wrap(projected), _wrap(attn_src), _wrap(attn_dst)
+    p_data = projected.data
+    src = p_data @ attn_src.data  # (n, 1)
+    dst = p_data @ attn_dst.data  # (n, 1)
+    pre = src + dst.T  # (n, n) broadcast outer sum
+    positive = pre > 0
+    # Same expression as ops.elu, reusing `pre` for the negative branch.
+    data = np.where(positive, pre, alpha * (np.exp(np.minimum(pre, 0.0)) - 1.0))
+    if _no_graph(projected, attn_src, attn_dst):
+        return Tensor._from_data(data)
+
+    def backward(grad):
+        grad_pre = grad * np.where(positive, 1.0, data + alpha)
+        grad_src = grad_pre.sum(axis=1, keepdims=True)  # (n, 1)
+        grad_dst = grad_pre.sum(axis=0)[:, None]  # (n, 1)
+        grad_projected = grad_src @ attn_src.data.T + grad_dst @ attn_dst.data.T
+        return (
+            grad_projected,
+            p_data.T @ grad_src,
+            p_data.T @ grad_dst,
+        )
+
+    return Tensor._make(data, (projected, attn_src, attn_dst), backward)
+
+
+# ----------------------------------------------------------------------
 # Shape manipulation
 # ----------------------------------------------------------------------
+@register("reshape")
 def reshape(a, shape: tuple[int, ...]) -> Tensor:
     a = _wrap(a)
+    data = a.data.reshape(shape)
+    if _no_graph(a):
+        return Tensor._from_data(data)
     original = a.data.shape
 
     def backward(grad):
         return (grad.reshape(original),)
 
-    return Tensor._make(a.data.reshape(shape), (a,), backward)
+    return Tensor._make(data, (a,), backward)
 
 
+@register("transpose")
 def transpose(a, axes: Sequence[int] | None = None) -> Tensor:
     a = _wrap(a)
     data = np.transpose(a.data, axes)
+    if _no_graph(a):
+        return Tensor._from_data(data)
     inverse = None if axes is None else np.argsort(axes)
 
     def backward(grad):
@@ -158,6 +401,7 @@ def transpose(a, axes: Sequence[int] | None = None) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("getitem")
 def getitem(a, index) -> Tensor:
     """Slicing/indexing. Backward scatters the gradient into a zero array.
 
@@ -166,6 +410,8 @@ def getitem(a, index) -> Tensor:
     """
     a = _wrap(a)
     data = a.data[index]
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         full = np.zeros_like(a.data)
@@ -175,9 +421,12 @@ def getitem(a, index) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("concat")
 def concat(tensors: Sequence, axis: int = 0) -> Tensor:
     tensors = [_wrap(t) for t in tensors]
     data = np.concatenate([t.data for t in tensors], axis=axis)
+    if _no_graph(*tensors):
+        return Tensor._from_data(data)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -192,9 +441,12 @@ def concat(tensors: Sequence, axis: int = 0) -> Tensor:
     return Tensor._make(data, tuple(tensors), backward)
 
 
+@register("stack")
 def stack(tensors: Sequence, axis: int = 0) -> Tensor:
     tensors = [_wrap(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
+    if _no_graph(*tensors):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return tuple(np.take(grad, i, axis=axis) for i in range(len(tensors)))
@@ -205,9 +457,12 @@ def stack(tensors: Sequence, axis: int = 0) -> Tensor:
 # ----------------------------------------------------------------------
 # Reductions
 # ----------------------------------------------------------------------
+@register("sum")
 def sum(a, axis=None, keepdims: bool = False) -> Tensor:
     a = _wrap(a)
     data = a.data.sum(axis=axis, keepdims=keepdims)
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         if axis is None:
@@ -220,9 +475,12 @@ def sum(a, axis=None, keepdims: bool = False) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("mean")
 def mean(a, axis=None, keepdims: bool = False) -> Tensor:
     a = _wrap(a)
     data = a.data.mean(axis=axis, keepdims=keepdims)
+    if _no_graph(a):
+        return Tensor._from_data(data)
     count = a.data.size if axis is None else np.prod(
         [a.data.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
     )
@@ -238,14 +496,17 @@ def mean(a, axis=None, keepdims: bool = False) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("max")
 def max(a, axis=None, keepdims: bool = False) -> Tensor:
     """Max reduction. Ties split the gradient equally among the maxima."""
     a = _wrap(a)
     data = a.data.max(axis=axis, keepdims=keepdims)
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         expanded = data if axis is None or keepdims else np.expand_dims(data, axis=axis)
-        mask = (a.data == expanded).astype(np.float64)
+        mask = (a.data == expanded).astype(a.data.dtype)
         mask /= mask.sum(axis=axis, keepdims=True)
         g = grad
         if axis is not None and not keepdims:
@@ -258,9 +519,12 @@ def max(a, axis=None, keepdims: bool = False) -> Tensor:
 # ----------------------------------------------------------------------
 # Elementwise nonlinearities
 # ----------------------------------------------------------------------
+@register("exp")
 def exp(a) -> Tensor:
     a = _wrap(a)
     data = np.exp(a.data)
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (grad * data,)
@@ -268,18 +532,25 @@ def exp(a) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("log")
 def log(a) -> Tensor:
     a = _wrap(a)
+    data = np.log(a.data)
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (grad / a.data,)
 
-    return Tensor._make(np.log(a.data), (a,), backward)
+    return Tensor._make(data, (a,), backward)
 
 
+@register("sqrt")
 def sqrt(a) -> Tensor:
     a = _wrap(a)
     data = np.sqrt(a.data)
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (grad / (2.0 * data),)
@@ -287,19 +558,26 @@ def sqrt(a) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("abs")
 def abs(a) -> Tensor:
     a = _wrap(a)
+    data = np.abs(a.data)
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (grad * np.sign(a.data),)
 
-    return Tensor._make(np.abs(a.data), (a,), backward)
+    return Tensor._make(data, (a,), backward)
 
 
+@register("clip")
 def clip(a, low: float | None = None, high: float | None = None) -> Tensor:
     """Clamp values; gradient is passed through only inside the range."""
     a = _wrap(a)
     data = np.clip(a.data, low, high)
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         mask = np.ones_like(a.data)
@@ -312,21 +590,28 @@ def clip(a, low: float | None = None, high: float | None = None) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("relu")
 def relu(a) -> Tensor:
     a = _wrap(a)
     mask = a.data > 0
+    data = a.data * mask
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (grad * mask,)
 
-    return Tensor._make(a.data * mask, (a,), backward)
+    return Tensor._make(data, (a,), backward)
 
 
+@register("elu")
 def elu(a, alpha: float = 1.0) -> Tensor:
     """ELU, the PCG attention activation (sigma_2 in the paper, Eq. 11)."""
     a = _wrap(a)
     positive = a.data > 0
     data = np.where(positive, a.data, alpha * (np.exp(np.minimum(a.data, 0.0)) - 1.0))
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (grad * np.where(positive, 1.0, data + alpha),)
@@ -334,12 +619,15 @@ def elu(a, alpha: float = 1.0) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("sigmoid")
 def sigmoid(a) -> Tensor:
     """Numerically stable logistic: exponentials only of non-positives."""
     a = _wrap(a)
     positive = a.data >= 0
     exp_neg = np.exp(np.where(positive, -a.data, a.data))  # always <= 1
     data = np.where(positive, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg))
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (grad * data * (1.0 - data),)
@@ -347,9 +635,12 @@ def sigmoid(a) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("tanh")
 def tanh(a) -> Tensor:
     a = _wrap(a)
     data = np.tanh(a.data)
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (grad * (1.0 - data**2),)
@@ -357,12 +648,21 @@ def tanh(a) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("softmax")
 def softmax(a, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
+    """Numerically stable softmax along ``axis``.
+
+    The last-axis case — every attention row softmax — dispatches to the
+    fused :func:`row_softmax` kernel.
+    """
     a = _wrap(a)
+    if axis == -1 or axis == a.data.ndim - 1:
+        return row_softmax(a)
     shifted = a.data - a.data.max(axis=axis, keepdims=True)
     exped = np.exp(shifted)
     data = exped / exped.sum(axis=axis, keepdims=True)
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         inner = (grad * data).sum(axis=axis, keepdims=True)
@@ -371,6 +671,7 @@ def softmax(a, axis: int = -1) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
+@register("masked_softmax")
 def masked_softmax(a, mask: np.ndarray, axis: int = -1) -> Tensor:
     """Softmax restricted to positions where ``mask`` is truthy.
 
@@ -387,6 +688,8 @@ def masked_softmax(a, mask: np.ndarray, axis: int = -1) -> Tensor:
     denom = exped.sum(axis=axis, keepdims=True)
     safe_denom = np.where(denom > 0, denom, 1.0)
     data = exped / safe_denom
+    if _no_graph(a):
+        return Tensor._from_data(data)
 
     def backward(grad):
         inner = (grad * data).sum(axis=axis, keepdims=True)
@@ -398,11 +701,14 @@ def masked_softmax(a, mask: np.ndarray, axis: int = -1) -> Tensor:
 # ----------------------------------------------------------------------
 # Selection
 # ----------------------------------------------------------------------
+@register("where")
 def where(condition: np.ndarray, a, b) -> Tensor:
     """Elementwise select; ``condition`` is a plain boolean array."""
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
     condition = np.asarray(condition, dtype=bool)
     data = np.where(condition, a.data, b.data)
+    if _no_graph(a, b):
+        return Tensor._from_data(data)
 
     def backward(grad):
         return (
@@ -413,9 +719,13 @@ def where(condition: np.ndarray, a, b) -> Tensor:
     return Tensor._make(data, (a, b), backward)
 
 
+@register("maximum")
 def maximum(a, b) -> Tensor:
     """Elementwise max of two tensors; ties send gradient to the first."""
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
+    data = np.maximum(a.data, b.data)
+    if _no_graph(a, b):
+        return Tensor._from_data(data)
     take_a = a.data >= b.data
 
     def backward(grad):
@@ -424,12 +734,16 @@ def maximum(a, b) -> Tensor:
             unbroadcast(grad * ~take_a, b.shape),
         )
 
-    return Tensor._make(np.maximum(a.data, b.data), (a, b), backward)
+    return Tensor._make(data, (a, b), backward)
 
 
+@register("minimum")
 def minimum(a, b) -> Tensor:
     """Elementwise min of two tensors; ties send gradient to the first."""
-    a, b = _wrap(a), _wrap(b)
+    a, b = _wrap_pair(a, b)
+    data = np.minimum(a.data, b.data)
+    if _no_graph(a, b):
+        return Tensor._from_data(data)
     take_a = a.data <= b.data
 
     def backward(grad):
@@ -438,14 +752,23 @@ def minimum(a, b) -> Tensor:
             unbroadcast(grad * ~take_a, b.shape),
         )
 
-    return Tensor._make(np.minimum(a.data, b.data), (a, b), backward)
+    return Tensor._make(data, (a, b), backward)
 
 
-def dropout_mask(shape: tuple[int, ...], rate: float, rng: np.random.Generator) -> np.ndarray:
-    """Inverted-dropout mask: zeros with probability ``rate``, else 1/(1-rate)."""
+def dropout_mask(
+    shape: tuple[int, ...], rate: float, rng: np.random.Generator, dtype=None
+) -> np.ndarray:
+    """Inverted-dropout mask: zeros with probability ``rate``, else 1/(1-rate).
+
+    The mask is materialised in ``dtype`` (backend default when None) so
+    a ``float32`` forward is not upcast by its dropout multiply.
+    """
+    from repro import backend
+
+    dtype = backend.resolve_dtype(dtype)
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     if rate == 0.0:
-        return np.ones(shape)
+        return np.ones(shape, dtype=dtype)
     keep = rng.random(shape) >= rate
-    return keep / (1.0 - rate)
+    return (keep / (1.0 - rate)).astype(dtype, copy=False)

@@ -5,6 +5,23 @@ Every differentiable operation returns a new ``Tensor`` holding a
 :meth:`Tensor.backward` on a scalar result topologically sorts the graph
 and invokes the closures in reverse order, accumulating ``.grad`` on
 every tensor created with ``requires_grad=True``.
+
+Grad modes
+----------
+Two context managers disable graph recording. Ops check the flag *before*
+building their backward closure, so a disabled graph costs no closure or
+parent-tuple allocation — the forward is a plain numpy expression plus
+one lightweight ``Tensor`` wrapper:
+
+* :func:`no_grad` — disables recording (the torch semantics);
+* :func:`inference_mode` — same, plus an optional dtype for the scope
+  (``inference_mode(dtype="float32")`` runs the whole forward in single
+  precision), signalling a pure serving path.
+
+Dtype policy lives in :mod:`repro.backend`: tensors are allocated with
+the backend's default dtype (``float64`` unless scoped otherwise) and
+raw python scalars/sequences entering an op are coerced to the dtype of
+the tensor they combine with — never silently upcast to ``float64``.
 """
 
 from __future__ import annotations
@@ -13,6 +30,8 @@ import contextlib
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
+
+from repro import backend
 
 # Global switch mirroring torch.no_grad(): when False, no graph is recorded.
 _GRAD_ENABLED = True
@@ -35,10 +54,43 @@ def no_grad() -> Iterator[None]:
         _GRAD_ENABLED = previous
 
 
-def _as_array(value: "Tensor | np.ndarray | float | int | Sequence") -> np.ndarray:
+@contextlib.contextmanager
+def inference_mode(dtype: "str | np.dtype | type | None" = None) -> Iterator[None]:
+    """Forward-only fast path: no graph recording, optional dtype scope.
+
+    ``with inference_mode():`` is :func:`no_grad` by another, more
+    explicit name. ``with inference_mode(dtype="float32"):`` additionally
+    makes every tensor created inside the block single precision, which
+    halves memory traffic on the serving hot path. Model parameters are
+    not touched — cast them once with ``module.to(np.float32)`` to keep
+    the whole forward in ``float32``.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        if dtype is None:
+            yield
+        else:
+            with backend.dtype_scope(dtype):
+                yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _as_array(
+    value: "Tensor | np.ndarray | float | int | Sequence",
+    dtype: "str | np.dtype | type | None" = None,
+) -> np.ndarray:
+    """Coerce ``value`` to an array of ``dtype`` (default: backend dtype).
+
+    This is the single coercion point for raw operands: python ints,
+    floats and sequences acquire the requested dtype here instead of
+    being silently upcast to ``float64``.
+    """
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=np.float64)
+    return backend.asarray(value, dtype)
 
 
 class Tensor:
@@ -47,12 +99,14 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything ``numpy.asarray`` accepts. Stored as ``float64`` for
-        gradient-check accuracy (the models here are small enough that
-        double precision costs nothing).
+        Anything ``numpy.asarray`` accepts. Stored with the backend's
+        default dtype (``float64`` unless a dtype scope is active) for
+        gradient-check accuracy; pass ``dtype`` to override.
     requires_grad:
         If True, ``backward`` accumulates this tensor's gradient into
         ``self.grad``.
+    dtype:
+        Explicit dtype for this tensor, bypassing the backend default.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
@@ -62,8 +116,9 @@ class Tensor:
         data: "np.ndarray | float | int | Sequence",
         requires_grad: bool = False,
         name: str | None = None,
+        dtype: "str | np.dtype | type | None" = None,
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = backend.asarray(data, dtype)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -86,6 +141,10 @@ class Tensor:
         return self.data.size
 
     @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
     def T(self) -> "Tensor":
         from repro.tensor import ops
 
@@ -101,7 +160,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor._from_data(self.data)
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -114,13 +173,30 @@ class Tensor:
     # Graph plumbing
     # ------------------------------------------------------------------
     @staticmethod
+    def _from_data(data: np.ndarray) -> "Tensor":
+        """Wrap an op result without dtype coercion or graph wiring.
+
+        The forward-only fast path and all op results come through here:
+        ``data`` keeps whatever dtype the numpy expression produced, so a
+        ``float32`` graph stays ``float32`` end to end.
+        """
+        out = object.__new__(Tensor)
+        out.data = data if isinstance(data, np.ndarray) else np.asarray(data)
+        out.requires_grad = False
+        out.grad = None
+        out._backward = None
+        out._parents = ()
+        out.name = None
+        return out
+
+    @staticmethod
     def _make(
         data: np.ndarray,
         parents: tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create an op result wired into the graph (if grad is enabled)."""
-        out = Tensor(data)
+        out = Tensor._from_data(data)
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
@@ -152,7 +228,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("backward() without a gradient requires a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"

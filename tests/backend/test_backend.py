@@ -1,0 +1,163 @@
+"""The compute backend: dtype policy, allocators, op registry, buffers."""
+
+import numpy as np
+import pytest
+
+from repro import backend
+from repro.backend import registry
+from repro.backend.pool import BufferPool, active_pool, buffer_scope
+
+
+class TestDtypePolicy:
+    def test_default_is_float64(self):
+        assert backend.default_dtype() == np.float64
+
+    def test_resolve_none_returns_default(self):
+        assert backend.resolve_dtype(None) == backend.default_dtype()
+
+    @pytest.mark.parametrize("spec", ["float32", np.float32, np.dtype(np.float32)])
+    def test_resolve_spellings(self, spec):
+        assert backend.resolve_dtype(spec) == np.float32
+
+    @pytest.mark.parametrize("bad", ["int32", np.int64, "float16", "complex128"])
+    def test_unsupported_dtype_rejected(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            backend.resolve_dtype(bad)
+
+    def test_set_default_returns_previous(self):
+        previous = backend.set_default_dtype(np.float32)
+        try:
+            assert previous == np.float64
+            assert backend.default_dtype() == np.float32
+        finally:
+            backend.set_default_dtype(previous)
+        assert backend.default_dtype() == np.float64
+
+    def test_dtype_scope_nests_and_survives_exceptions(self):
+        with backend.dtype_scope(np.float32):
+            assert backend.default_dtype() == np.float32
+            with backend.dtype_scope(np.float64):
+                assert backend.default_dtype() == np.float64
+            assert backend.default_dtype() == np.float32
+        assert backend.default_dtype() == np.float64
+        with pytest.raises(RuntimeError):
+            with backend.dtype_scope(np.float32):
+                raise RuntimeError("boom")
+        assert backend.default_dtype() == np.float64
+
+
+class TestAllocators:
+    def test_asarray_casts_to_default(self):
+        assert backend.asarray([1, 2, 3]).dtype == np.float64
+        with backend.dtype_scope(np.float32):
+            assert backend.asarray([1, 2, 3]).dtype == np.float32
+
+    def test_asarray_explicit_dtype(self):
+        assert backend.asarray(1.5, dtype="float32").dtype == np.float32
+
+    def test_shaped_allocators(self):
+        assert backend.zeros((2, 3)).shape == (2, 3)
+        assert np.all(backend.ones((2, 3)) == 1.0)
+        assert backend.empty((4,)).dtype == np.float64
+        with backend.dtype_scope("float32"):
+            assert backend.zeros((2,)).dtype == np.float32
+
+
+class TestRegistry:
+    def test_core_ops_registered(self):
+        for name in ("add", "matmul", "relu", "linear", "row_softmax"):
+            assert registry.has_op(name), name
+
+    def test_get_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            registry.get_op("definitely-not-an-op")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ValueError):
+            registry.register("add")(lambda: None)
+
+    def test_override_swaps_and_restores(self):
+        def fake(*args, **kwargs):
+            raise AssertionError("should not be called")
+
+        original = registry.override("relu", fake)
+        try:
+            assert registry.get_op("relu") is fake
+        finally:
+            registry.override("relu", original)
+        assert registry.get_op("relu") is original
+
+    def test_override_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            registry.override("definitely-not-an-op", lambda: None)
+
+    def test_list_ops_sorted(self):
+        ops = registry.list_ops()
+        assert ops == sorted(ops)
+        assert len(ops) == len(set(ops))
+
+
+class TestBufferPool:
+    def test_take_allocates_shape_and_dtype(self):
+        pool = BufferPool()
+        buffer = pool.take((3, 4), np.float32)
+        assert buffer.shape == (3, 4)
+        assert buffer.dtype == np.float32
+        assert pool.misses == 1 and pool.hits == 0
+        assert pool.outstanding == 1
+
+    def test_no_reuse_within_scope(self):
+        pool = BufferPool()
+        a = pool.take((2, 2))
+        b = pool.take((2, 2))
+        assert a is not b
+
+    def test_reuse_across_release(self):
+        pool = BufferPool()
+        a = pool.take((2, 2))
+        pool.release_all()
+        assert pool.outstanding == 0
+        b = pool.take((2, 2))
+        assert b is a
+        assert pool.hits == 1
+
+    def test_dtype_keys_distinct(self):
+        pool = BufferPool()
+        pool.take((2, 2), np.float64)
+        pool.release_all()
+        other = pool.take((2, 2), np.float32)
+        assert other.dtype == np.float32
+        assert pool.misses == 2
+
+    def test_clear_drops_free_list(self):
+        pool = BufferPool()
+        a = pool.take((2, 2))
+        pool.release_all()
+        pool.clear()
+        b = pool.take((2, 2))
+        assert b is not a
+
+    def test_buffer_scope_activates_and_releases(self):
+        pool = BufferPool()
+        assert active_pool() is None
+        with buffer_scope(pool) as active:
+            assert active is pool
+            assert active_pool() is pool
+            pool.take((3,))
+            assert pool.outstanding == 1
+        assert active_pool() is None
+        assert pool.outstanding == 0
+
+    def test_buffer_scope_nesting(self):
+        outer, inner = BufferPool(), BufferPool()
+        with buffer_scope(outer):
+            with buffer_scope(inner):
+                assert active_pool() is inner
+            assert active_pool() is outer
+        assert active_pool() is None
+
+    def test_default_scope_makes_throwaway_pool(self):
+        with buffer_scope() as pool:
+            assert isinstance(pool, BufferPool)
+            assert active_pool() is pool
+        assert active_pool() is None

@@ -1,7 +1,6 @@
 """Property-based tests of the tree/boosting substrate (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra.numpy import arrays
 

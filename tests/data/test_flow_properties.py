@@ -1,6 +1,5 @@
 """Property-based tests of flow bookkeeping invariants (hypothesis)."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.data import TripRecord, build_flow_tensors, demand_supply

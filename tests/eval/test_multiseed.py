@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.eval import EvalResult, SeedSweepResult, evaluate_over_seeds
+from repro.eval import EvalResult, evaluate_over_seeds
 
 
 def fake_run(seed: int) -> EvalResult:

@@ -1,6 +1,5 @@
 """Text report rendering."""
 
-import pytest
 
 from repro.eval import EvalResult, comparison_table, series_table
 

@@ -1,7 +1,6 @@
 """Attention primitives vs naive reference implementations."""
 
 import numpy as np
-import pytest
 
 from repro.nn import PairwiseAdditiveAttention, ScaledDotProductAttention
 from repro.tensor import Tensor

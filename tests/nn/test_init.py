@@ -1,7 +1,6 @@
 """Weight initializers: bounds, determinism, fan computation."""
 
 import numpy as np
-import pytest
 
 from repro.nn import init
 
