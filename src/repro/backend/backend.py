@@ -32,6 +32,11 @@ SUPPORTED_DTYPES = (np.float32, np.float64)
 
 _DEFAULT_DTYPE: np.dtype = np.dtype(np.float64)
 
+#: Canonicalised once — ``resolve_dtype`` sits on the per-op hot path
+#: (every tensor allocation and pool take), so the membership check must
+#: not rebuild the supported list per call.
+_SUPPORTED_RESOLVED = frozenset(np.dtype(d) for d in SUPPORTED_DTYPES)
+
 
 def resolve_dtype(dtype: "str | np.dtype | type | None") -> np.dtype:
     """Canonicalise ``dtype`` (name, numpy type or dtype) to ``np.dtype``.
@@ -42,7 +47,7 @@ def resolve_dtype(dtype: "str | np.dtype | type | None") -> np.dtype:
     if dtype is None:
         return _DEFAULT_DTYPE
     resolved = np.dtype(dtype)
-    if resolved not in [np.dtype(d) for d in SUPPORTED_DTYPES]:
+    if resolved not in _SUPPORTED_RESOLVED:
         raise ValueError(
             f"unsupported dtype {resolved}; supported: "
             f"{[np.dtype(d).name for d in SUPPORTED_DTYPES]}"

@@ -55,6 +55,10 @@ class BufferPool:
         self._in_use.append(buffer)
         return buffer
 
+    def take_like(self, array: np.ndarray) -> np.ndarray:
+        """A scratch array matching ``array``'s shape and dtype."""
+        return self.take(array.shape, array.dtype)
+
     def release_all(self) -> None:
         """Return every outstanding buffer to the free lists."""
         for buffer in self._in_use:

@@ -1,0 +1,212 @@
+"""Data-parallel gradient workers for the training loop.
+
+A :class:`GradientWorkerPool` is a persistent pool of fork-based worker
+processes that splits a training batch into contiguous shards, computes
+per-sample loss + gradients in each worker, and reduces the results in
+the parent in a fixed order. It exists because the model is a
+per-time-step graph program: a "batch" is N independent single-sample
+forward/backward passes whose gradients are averaged (see
+``core/trainer.py``), which is embarrassingly parallel across samples.
+
+Protocol (one round trip per batch)
+-----------------------------------
+1. The parent sends every worker the current parameter arrays, its shard
+   of prediction times (a contiguous slice of the batch, in batch
+   order), and the 1/batch gradient scale.
+2. Each worker loads the parameters into its (forked, copy-on-write)
+   model, runs forward + backward per sample, and replies with its
+   summed loss and per-parameter gradient sums.
+3. The parent accumulates worker results **in worker index order** into
+   the parameters' persistent gradient buffers, then the trainer clips
+   and steps exactly as in serial mode.
+
+Determinism / serial equivalence
+--------------------------------
+Shards are contiguous and ordered, reduction order is fixed, and every
+worker performs the same per-sample arithmetic as the serial loop. The
+only difference from serial training is the association order of the
+floating-point gradient sums (per-shard partial sums instead of one
+running sum), so for a deterministic model (``dropout == 0``) the
+training losses of ``workers=0`` and ``workers=K`` runs agree to within
+float64 summation reordering — empirically < 1e-9 relative, which the
+parity tests assert. Models that draw training-time randomness
+(``dropout > 0``) remain seeded-deterministic for a *fixed* worker
+count, but are not sample-for-sample identical to serial runs: each
+forked worker advances its own copy of the model's RNG.
+
+Fork is required (copy-on-write sharing of the model, dataset and
+windows); on platforms without it :meth:`GradientWorkerPool.create`
+returns ``None`` and the trainer falls back to the serial loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.utils import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.trainer import Trainer
+
+logger = get_logger("parallel")
+
+_OK = "ok"
+_ERROR = "error"
+
+
+def fork_available() -> bool:
+    """Whether fork-based worker processes can be used on this platform."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def _worker_main(conn, trainer: "Trainer", params: list) -> None:
+    """Worker loop: receive (params, shard, scale) tasks until ``None``.
+
+    Runs in the forked child. ``trainer`` and ``params`` are inherited
+    copy-on-write; parameter *values* arrive with every task so the
+    worker tracks the parent's optimizer steps.
+    """
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                return
+            datas, shard, scale = task
+            try:
+                for param, data in zip(params, datas):
+                    param.data = data
+                    param.grad = None
+                upstream = np.asarray(scale)
+                loss_sum = 0.0
+                for t in shard:
+                    loss = trainer._sample_loss(int(t))
+                    loss.backward(upstream)
+                    loss_sum += loss.item()
+                conn.send((_OK, (loss_sum, [p.grad for p in params])))
+            except Exception as exc:  # surface worker errors in the parent
+                conn.send((_ERROR, f"{type(exc).__name__}: {exc}"))
+    except (EOFError, KeyboardInterrupt, BrokenPipeError):
+        pass
+    finally:
+        conn.close()
+
+
+class GradientWorkerPool:
+    """Persistent fork-based pool of per-sample gradient workers."""
+
+    def __init__(self, trainer: "Trainer", num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if not fork_available():
+            raise RuntimeError("fork start method is not available on this platform")
+        self._params = list(trainer.optimizer.parameters)
+        self.num_workers = num_workers
+        self._closed = False
+
+        # Touch lazily-built dataset state *before* forking so workers
+        # share it copy-on-write instead of each rebuilding it.
+        trainer.dataset.demand_normalizer
+        trainer.dataset.supply_normalizer
+
+        ctx = mp.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for _ in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, trainer, self._params),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    @classmethod
+    def create(cls, trainer: "Trainer", num_workers: int) -> "GradientWorkerPool | None":
+        """Build a pool, or return ``None`` (serial fallback) if unsupported."""
+        if num_workers < 1:
+            return None
+        if not fork_available():
+            logger.warning(
+                "workers=%d requested but the fork start method is unavailable; "
+                "training serially",
+                num_workers,
+            )
+            return None
+        try:
+            return cls(trainer, num_workers)
+        except OSError as exc:  # fork/pipe failure (resource limits)
+            logger.warning("worker pool creation failed (%s); training serially", exc)
+            return None
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def accumulate_gradients(self, batch: Sequence[int], scale: float) -> float:
+        """Compute and reduce gradients for ``batch``; return the loss sum.
+
+        Each sample's upstream gradient is ``scale`` (the trainer passes
+        ``1/len(batch)``, matching the serial loop's gradient averaging).
+        Gradients are accumulated into the parameters' ``.grad`` buffers
+        in worker index order — the caller must have zeroed them.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        shards = np.array_split(np.asarray(batch), self.num_workers)
+        datas = [param.data for param in self._params]
+        for conn, shard in zip(self._conns, shards):
+            conn.send((datas, shard, scale))
+        total = 0.0
+        for conn in self._conns:
+            status, payload = conn.recv()
+            if status != _OK:
+                raise RuntimeError(f"gradient worker failed: {payload}")
+            loss_sum, grads = payload
+            total += loss_sum
+            for param, grad in zip(self._params, grads):
+                if grad is not None:
+                    param._accumulate(grad)
+        return total
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - hung worker safety net
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "GradientWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"GradientWorkerPool(workers={self.num_workers}, {state})"

@@ -10,6 +10,14 @@ per-time-step graph program, so a "batch" is 32 prediction times whose
 per-sample gradients are averaged before one optimizer step. This is
 mathematically identical to batched training and keeps the autograd
 graphs small.
+
+Because the samples of a batch are independent, the gradient work is
+data-parallel: with ``TrainingConfig.workers > 0`` a persistent
+fork-based :class:`~repro.core.parallel.GradientWorkerPool` computes the
+per-sample gradients in worker processes and the parent reduces them in
+a fixed order before ``clip_grad_norm`` + ``step()`` (see
+``core/parallel.py`` for the serial-equivalence guarantee). ``workers=0``
+keeps the seed's serial loop.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import numpy as np
 
 from repro import backend
 from repro.core.model import STGNNDJD
+from repro.core.parallel import GradientWorkerPool
 from repro.data.dataset import BikeShareDataset
 from repro.nn import joint_demand_supply_loss, mse_loss
 from repro.optim import Adam, clip_grad_norm
@@ -41,6 +50,10 @@ class TrainingConfig:
     max_batches_per_epoch: int | None = None  # subsample big epochs
     seed: int = 0
     verbose: bool = False
+    # Gradient workers per batch: 0 = serial loop, N >= 1 = a persistent
+    # fork-based pool of N processes (falls back to serial when fork is
+    # unavailable). See core/parallel.py for the determinism guarantee.
+    workers: int = 0
     # "joint" = the paper's Eq. 21 loss; "independent" = plain MSE on
     # demand + MSE on supply (the design-choice ablation in DESIGN.md).
     loss: str = "joint"
@@ -54,6 +67,8 @@ class TrainingConfig:
             raise ValueError("learning_rate must be positive")
         if self.loss not in ("joint", "independent"):
             raise ValueError(f"loss must be 'joint' or 'independent', got {self.loss!r}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
 
 
 @dataclass(slots=True)
@@ -88,6 +103,9 @@ class Trainer:
         self._best_state: dict[str, np.ndarray] | None = None
         # Scratch arrays recycled across predict() calls (see backend.pool).
         self._pool = backend.BufferPool()
+        # Normalised target tensors are constants per prediction time;
+        # memoise them so epoch k+1 reuses epoch k's allocations.
+        self._target_cache: dict[tuple, tuple[Tensor, Tensor]] = {}
 
     # ------------------------------------------------------------------
     # Target normalisation
@@ -99,6 +117,10 @@ class Trainer:
         return getattr(config, "horizon", 1)
 
     def _normalised_targets(self, t: int) -> tuple[Tensor, Tensor]:
+        key = (t, backend.default_dtype())
+        cached = self._target_cache.get(key)
+        if cached is not None:
+            return cached
         h = self._horizon
         if h == 1:
             demand = self.dataset.demand_normalizer.transform(self.dataset.demand[t])
@@ -111,7 +133,9 @@ class Trainer:
             supply = self.dataset.supply_normalizer.transform(
                 self.dataset.supply[t : t + h].T
             )
-        return Tensor(demand), Tensor(supply)
+        targets = (Tensor(demand), Tensor(supply))
+        self._target_cache[key] = targets
+        return targets
 
     def _sample_loss(self, t: int):
         sample = self.dataset.sample(t)
@@ -150,31 +174,38 @@ class Trainer:
         best_val = float("inf")
         bad_epochs = 0
 
-        for epoch in range(epochs):
-            epoch_loss = self._run_epoch(train_idx)
-            val_loss = self.validation_loss(val_idx)
-            history.train_loss.append(epoch_loss)
-            history.val_loss.append(val_loss)
-            if self.config.verbose:
-                logger.info(
-                    "epoch %d: train=%.4f val=%.4f", epoch, epoch_loss, val_loss
-                )
-            if val_loss < best_val - 1e-6:
-                best_val = val_loss
-                history.best_epoch = epoch
-                self._best_state = self.model.state_dict()
-                bad_epochs = 0
-            else:
-                bad_epochs += 1
-                if bad_epochs >= self.config.patience:
-                    history.stopped_early = True
-                    break
+        pool = GradientWorkerPool.create(self, self.config.workers)
+        try:
+            for epoch in range(epochs):
+                epoch_loss = self._run_epoch(train_idx, pool)
+                val_loss = self.validation_loss(val_idx)
+                history.train_loss.append(epoch_loss)
+                history.val_loss.append(val_loss)
+                if self.config.verbose:
+                    logger.info(
+                        "epoch %d: train=%.4f val=%.4f", epoch, epoch_loss, val_loss
+                    )
+                if val_loss < best_val - 1e-6:
+                    best_val = val_loss
+                    history.best_epoch = epoch
+                    self._best_state = self.model.state_dict()
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                    if bad_epochs >= self.config.patience:
+                        history.stopped_early = True
+                        break
+        finally:
+            if pool is not None:
+                pool.close()
 
         if self._best_state is not None:
             self.model.load_state_dict(self._best_state)
         return history
 
-    def _run_epoch(self, train_idx: np.ndarray) -> float:
+    def _run_epoch(
+        self, train_idx: np.ndarray, pool: GradientWorkerPool | None = None
+    ) -> float:
         self.model.train()
         order = self._rng.permutation(train_idx)
         batch_size = self.config.batch_size
@@ -188,13 +219,16 @@ class Trainer:
         total, count = 0.0, 0
         for batch in batches:
             self.optimizer.zero_grad()
-            batch_loss = 0.0
-            for t in batch:
-                loss = self._sample_loss(int(t))
-                # Average gradients over the batch: scale each sample's
-                # upstream gradient by 1/batch instead of rescaling later.
-                loss.backward(np.asarray(1.0 / len(batch)))
-                batch_loss += loss.item()
+            if pool is not None:
+                batch_loss = pool.accumulate_gradients(batch, 1.0 / len(batch))
+            else:
+                batch_loss = 0.0
+                for t in batch:
+                    loss = self._sample_loss(int(t))
+                    # Average gradients over the batch: scale each sample's
+                    # upstream gradient by 1/batch instead of rescaling later.
+                    loss.backward(np.asarray(1.0 / len(batch)))
+                    batch_loss += loss.item()
             clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
             self.optimizer.step()
             total += batch_loss / len(batch)
@@ -205,12 +239,21 @@ class Trainer:
     # Evaluation helpers
     # ------------------------------------------------------------------
     def validation_loss(self, indices: np.ndarray) -> float:
-        """Mean per-sample loss over ``indices`` without gradients."""
+        """Mean per-sample loss over ``indices`` without gradients.
+
+        Like :meth:`predict`, runs on the forward-only fast path with
+        intermediates drawn from the trainer's buffer pool, so an epoch
+        of validation recycles one sample's worth of scratch arrays.
+        """
         self.model.eval()
         total = 0.0
         with inference_mode():
             for t in indices:
-                total += self._sample_loss(int(t)).item()
+                # Scope per sample: buffers release on exit, so sample
+                # t+1 reuses sample t's intermediates instead of piling
+                # the whole epoch's arrays into the pool.
+                with backend.buffer_scope(self._pool):
+                    total += self._sample_loss(int(t)).item()
         self.model.train()
         return total / len(indices) if len(indices) else float("nan")
 

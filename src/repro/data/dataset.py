@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from numpy.lib.stride_tricks import as_strided
+
 from repro.data.flows import demand_supply
 from repro.data.normalize import MinMaxNormalizer
 from repro.data.records import SECONDS_PER_DAY
@@ -125,6 +127,11 @@ class BikeShareDataset:
         self._demand_normalizer: MinMaxNormalizer | None = None
         self._supply_normalizer: MinMaxNormalizer | None = None
         self._flow_scale: float | None = None
+        # Window cache: zero-copy stride views over the flow tensors plus
+        # memoised FlowSample bundles (see _long_windows / sample).
+        self._long_inflow = self._long_window_view(inflow)
+        self._long_outflow = self._long_window_view(outflow)
+        self._sample_cache: dict[int, FlowSample] = {}
 
     # ------------------------------------------------------------------
     # Dimensions
@@ -188,27 +195,65 @@ class BikeShareDataset:
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
+    def _long_window_view(self, flows: np.ndarray) -> np.ndarray:
+        """All long-term windows as one zero-copy stride view.
+
+        Row ``i`` of the returned ``(T - d*spd, d, n, n)`` array is the
+        long-term window for prediction time ``t = i + d*spd``: the flow
+        matrices at the same slot-of-day over the previous ``d`` days,
+        oldest first (the paper's ``{I^{t-d*day}, ..., I^{t-1*day}}``).
+        The seed rebuilt each window with fancy indexing — a fresh
+        ``(d, n, n)`` copy per sample per epoch; the view shares the base
+        tensor's memory, so every ``sample(t)`` after construction costs
+        one index, no copy. Marked read-only: windows alias the dataset.
+        """
+        d = self.config.long_days
+        spd = self.config.slots_per_day
+        base = d * spd
+        count = flows.shape[0] - base
+        if count <= 0:
+            # Degenerate (windows consume all slots); sample() rejects
+            # every t before indexing, but keep a well-formed empty view.
+            count = 0
+        slot_stride, row_stride, col_stride = flows.strides
+        view = as_strided(
+            flows,
+            shape=(count, d, flows.shape[1], flows.shape[2]),
+            strides=(slot_stride, spd * slot_stride, row_stride, col_stride),
+            writeable=False,
+        )
+        return view
+
     def sample(self, t: int) -> FlowSample:
-        """Assemble the model input for prediction time ``t``."""
+        """Assemble the model input for prediction time ``t``.
+
+        Samples are memoised: the first request builds a bundle of
+        zero-copy views (slices for the short window, stride tricks for
+        the long window) and every later request — e.g. the same ``t``
+        in the next training epoch — returns the cached bundle. Arrays
+        alias the dataset's flow tensors and must not be written to.
+        """
+        cached = self._sample_cache.get(t)
+        if cached is not None:
+            return cached
         if not self.min_history <= t < self.num_slots:
             raise IndexError(
                 f"t={t} outside the sampleable range "
                 f"[{self.min_history}, {self.num_slots})"
             )
         k = self.config.short_window
-        spd = self.slots_per_day
-        # Long-term: same slot-of-day in the previous d days, oldest first
-        # (paper's {I^{t-d*day}, ..., I^{t-1*day}}).
-        long_ts = [t - day * spd for day in range(self.config.long_days, 0, -1)]
-        return FlowSample(
+        base = self.config.long_days * self.slots_per_day
+        sample = FlowSample(
             t=t,
             short_inflow=self.inflow[t - k : t],
             short_outflow=self.outflow[t - k : t],
-            long_inflow=self.inflow[long_ts],
-            long_outflow=self.outflow[long_ts],
+            long_inflow=self._long_inflow[t - base],
+            long_outflow=self._long_outflow[t - base],
             target_demand=self.demand[t],
             target_supply=self.supply[t],
         )
+        self._sample_cache[t] = sample
+        return sample
 
     # ------------------------------------------------------------------
     # Normalization (fitted lazily on the training split)

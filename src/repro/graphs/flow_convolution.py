@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn import Conv1x1, Module, Parameter, init
-from repro.tensor import Tensor, concat, is_grad_enabled
+from repro.tensor import Tensor, concat, gated_fusion, is_grad_enabled
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,11 +106,11 @@ class FlowConvolution(Module):
                 short_inflow.data, short_outflow.data,
                 long_inflow.data, long_outflow.data,
             )
-        # Eqs. 1-4.
-        inflow_short = self.short_inflow_conv(short_inflow).relu()
-        outflow_short = self.short_outflow_conv(short_outflow).relu()
-        inflow_long = self.long_inflow_conv(long_inflow).relu()
-        outflow_long = self.long_outflow_conv(long_outflow).relu()
+        # Eqs. 1-4, the ReLU fused into the conv op.
+        inflow_short = self.short_inflow_conv(short_inflow, relu=True)
+        outflow_short = self.short_outflow_conv(short_outflow, relu=True)
+        inflow_long = self.long_inflow_conv(long_inflow, relu=True)
+        outflow_long = self.long_outflow_conv(long_outflow, relu=True)
 
         # Eqs. 5-8. The two-way softmax over {short, long} scores is
         # computed as a sigmoid of the score difference, which is exactly
@@ -187,8 +187,7 @@ class FlowConvolution(Module):
 
         ``beta_S = exp(W . short) / (exp(W . short) + exp(W . long))``
         with ``W`` applied elementwise (Hadamard); ``beta_L = 1-beta_S``.
+        Dispatches to the fused ``gated_fusion`` op: one recorded op and
+        closure for the whole blend.
         """
-        score_short = gate * short
-        score_long = gate * long
-        beta_short = (score_short - score_long).sigmoid()
-        return beta_short * short + (1.0 - beta_short) * long
+        return gated_fusion(short, long, gate)

@@ -69,7 +69,7 @@ class Conv1x1(Module):
         self.weight = Parameter(init.xavier_uniform((channels,), rng), name="weight")
         self.bias = Parameter(init.zeros(self.field_shape), name="bias")
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, relu: bool = False) -> Tensor:
         if x.shape[0] != self.channels:
             raise ValueError(
                 f"expected {self.channels} channels, got tensor with shape {x.shape}"
@@ -78,8 +78,9 @@ class Conv1x1(Module):
             raise ValueError(
                 f"expected field shape {self.field_shape}, got {x.shape[1:]}"
             )
-        # Fused channel contraction: sum_c W[c] * x[c] + b in one kernel.
-        return ops.conv1x1(x, self.weight, self.bias)
+        # Fused channel contraction: sum_c W[c] * x[c] + b in one kernel,
+        # optionally with the activation folded in.
+        return ops.conv1x1(x, self.weight, self.bias, relu=relu)
 
     def __repr__(self) -> str:
         return f"Conv1x1(channels={self.channels}, field={self.field_shape})"

@@ -30,12 +30,12 @@ def joint_demand_supply_loss(
     ``L = sqrt( mean((x - x_hat)^2) + mean((y - y_hat)^2) )`` — a joint
     RMSE over demand and supply residuals across all stations. ``eps``
     keeps the square root differentiable at an exact-zero residual.
+    Dispatches to the fused ``joint_rmse`` op (one recorded node for the
+    whole expression).
     """
     _check_shapes(demand_pred, demand_true)
     _check_shapes(supply_pred, supply_true)
-    demand_term = ((demand_pred - demand_true) ** 2).mean()
-    supply_term = ((supply_pred - supply_true) ** 2).mean()
-    return ops.sqrt(demand_term + supply_term + eps)
+    return ops.joint_rmse(demand_pred, demand_true, supply_pred, supply_true, eps)
 
 
 def _check_shapes(prediction: Tensor, target: Tensor) -> None:

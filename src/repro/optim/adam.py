@@ -1,4 +1,15 @@
-"""Adam optimizer [Kingma & Ba, 2014] — the paper's training optimizer."""
+"""Adam optimizer [Kingma & Ba, 2014] — the paper's training optimizer.
+
+The update is fused into in-place numpy ops over two preallocated
+scratch views: no ``m_hat``/``v_hat``/``sqrt`` temporaries are
+materialised per parameter per step, and ``weight_decay`` folds into the
+same scratch instead of allocating ``grad + wd * param``. The math is
+unchanged (identical up to float rounding of the reassociated
+``lr / bias`` factors):
+
+    m_hat = m / (1 - beta1^t);  v_hat = v / (1 - beta2^t)
+    param -= lr * m_hat / (sqrt(v_hat) + eps)
+"""
 
 from __future__ import annotations
 
@@ -31,21 +42,57 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Flat scratch pools (two views per step: a general temporary and
+        # the weight-decay-adjusted gradient), keyed by dtype so a
+        # float32-cast model gets matching buffers. Sized for the largest
+        # parameter once; per-step updates then allocate nothing.
+        self._max_size = max(p.data.size for p in self.parameters)
+        self._scratch: dict[np.dtype, np.ndarray] = {}
+
+    def _scratch_views(self, param: Parameter) -> tuple[np.ndarray, np.ndarray]:
+        """Two scratch views shaped like ``param`` (contents undefined)."""
+        dtype = param.data.dtype
+        flat = self._scratch.get(dtype)
+        if flat is None or flat.size < 2 * self._max_size:
+            flat = np.empty(2 * self._max_size, dtype=dtype)
+            self._scratch[dtype] = flat
+        size, shape = param.data.size, param.data.shape
+        return (
+            flat[:size].reshape(shape),
+            flat[self._max_size : self._max_size + size].reshape(shape),
+        )
 
     def step(self) -> None:
         self._step_count += 1
-        bias1 = 1.0 - self.beta1**self._step_count
-        bias2 = 1.0 - self.beta2**self._step_count
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        sqrt_bias2 = np.sqrt(bias2)
+        step_scale = self.lr / bias1
+        one_minus_beta1 = 1.0 - self.beta1
+        one_minus_beta2 = 1.0 - self.beta2
         for param, m, v in zip(self.parameters, self._m, self._v):
-            if param.grad is None:
-                continue
             grad = param.grad
+            if grad is None:
+                continue
+            scratch, decayed = self._scratch_views(param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                # grad + wd * param, materialised once in scratch.
+                np.multiply(param.data, self.weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
+            # First moment: m = beta1 * m + (1 - beta1) * grad.
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, one_minus_beta1, out=scratch)
+            m += scratch
+            # Second moment: v = beta2 * v + (1 - beta2) * grad^2.
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=scratch)
+            scratch *= one_minus_beta2
+            v += scratch
+            # param -= (lr / bias1) * m / (sqrt(v) / sqrt(bias2) + eps).
+            np.sqrt(v, out=scratch)
+            scratch /= sqrt_bias2
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= step_scale
+            param.data -= scratch

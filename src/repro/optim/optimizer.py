@@ -36,7 +36,9 @@ def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
     total = 0.0
     grads = [p.grad for p in parameters if p.grad is not None]
     for grad in grads:
-        total += float(np.sum(grad * grad))
+        # Flat BLAS dot: no grad-sized ``grad * grad`` temporary.
+        flat = np.ravel(grad)
+        total += float(np.dot(flat, flat))
     norm = float(np.sqrt(total))
     if norm > max_norm and norm > 0:
         scale = max_norm / norm

@@ -25,6 +25,7 @@ from repro.tensor.ops import (
     conv1x1,
     row_softmax,
     pairwise_scores,
+    gated_fusion,
 )
 
 __all__ = [
@@ -43,4 +44,5 @@ __all__ = [
     "conv1x1",
     "row_softmax",
     "pairwise_scores",
+    "gated_fusion",
 ]

@@ -255,51 +255,69 @@ def linear(x, weight, bias=None) -> Tensor:
     if bias is not None:
         data = data + bias.data
 
+    need_x = x.requires_grad
+
     def backward(grad):
+        grad_x = None
+        if need_x:
+            grad_x = unbroadcast(grad @ np.swapaxes(w_data, -1, -2), x_data.shape)
         if x_data.ndim == 1:
-            grad_x = grad @ np.swapaxes(w_data, -1, -2)
             grad_w = np.outer(x_data, grad)
         else:
-            grad_x = grad @ np.swapaxes(w_data, -1, -2)
             grad_w = unbroadcast(np.swapaxes(x_data, -1, -2) @ grad, w_data.shape)
         if bias is None:
-            return (unbroadcast(grad_x, x_data.shape), grad_w)
-        return (
-            unbroadcast(grad_x, x_data.shape),
-            grad_w,
-            unbroadcast(grad, bias.data.shape),
-        )
+            return (grad_x, grad_w)
+        return (grad_x, grad_w, unbroadcast(grad, bias.data.shape))
 
     return Tensor._make(data, parents, backward)
 
 
 @register("conv1x1")
-def conv1x1(x, weight, bias) -> Tensor:
+def conv1x1(x, weight, bias, relu: bool = False) -> Tensor:
     """Fused 1x1 channel convolution ``sum_c W[c] * x[c] + b``.
 
     The flow-convolution kernel (Eqs. 1-4): ``x`` is ``(c, *field)``,
     ``weight`` is ``(c,)`` and ``bias`` has the field shape. One
     ``tensordot`` contracts the channel axis — replacing the seed path's
-    transpose + matmul + add (three ops, two large temporaries).
+    transpose + matmul + add (three ops, two large temporaries). With
+    ``relu=True`` the activation folds into the same op (the Eqs. 1-4
+    pattern), saving a full-size node + closure per call.
     """
     x, weight, bias = _wrap(x), _wrap(weight), _wrap(bias)
     x_data, w_data = x.data, weight.data
     # Channel contraction as a flat matvec: same BLAS dot as tensordot
     # without tensordot's per-call transpose/reshape machinery.
-    out = (w_data @ x_data.reshape(w_data.shape[0], -1)).reshape(x_data.shape[1:])
+    flat_x = x_data.reshape(w_data.shape[0], -1)
+    out = (w_data @ flat_x).reshape(x_data.shape[1:])
     if _no_graph(x, weight, bias):
         if np.can_cast(bias.data.dtype, out.dtype, casting="same_kind"):
             out += bias.data
         else:
             out = out + bias.data
+        if relu:
+            out *= out > 0
         return Tensor._from_data(out)
 
     data = out + bias.data
-    field_axes = tuple(range(out.ndim))
+    mask = None
+    if relu:
+        mask = data > 0
+        data = data * mask
+    # The windows fed to Eqs. 1-4 are raw-data leaves: skip the
+    # channel-broadcast input gradient (the largest array of the whole
+    # backward pass) unless something upstream actually needs it.
+    need_x = x.requires_grad
 
     def backward(grad):
-        grad_w = np.tensordot(grad, x_data, axes=(field_axes, tuple(range(1, x_data.ndim))))
-        grad_x = w_data.reshape((-1,) + (1,) * grad.ndim) * grad
+        if mask is not None:
+            grad = grad * mask
+        # Weight gradient as the same flat matvec as the forward —
+        # tensordot's generic transpose/reshape setup costs more than
+        # the (c, field) @ (field,) BLAS call it wraps at these sizes.
+        grad_w = flat_x @ grad.ravel()
+        grad_x = None
+        if need_x:
+            grad_x = w_data.reshape((-1,) + (1,) * grad.ndim) * grad
         return (grad_x, grad_w, grad)
 
     return Tensor._make(data, (x, weight, bias), backward)
@@ -368,6 +386,86 @@ def pairwise_scores(projected, attn_src, attn_dst, alpha: float = 1.0) -> Tensor
         )
 
     return Tensor._make(data, (projected, attn_src, attn_dst), backward)
+
+
+@register("gated_fusion")
+def gated_fusion(short, long, gate) -> Tensor:
+    """Fused attentive short/long blend (Eqs. 5-8), elementwise.
+
+    ``out = beta * short + (1 - beta) * long`` with
+    ``beta = sigmoid(gate * short - gate * long)`` — the two-way softmax
+    over {short, long} scores written as a sigmoid of the score
+    difference, immune to overflow. One op replaces the eight recorded
+    elementwise ops (and closures) of the unfused expression; the
+    forward uses the same stable-sigmoid expressions as :func:`sigmoid`,
+    so float64 results are bitwise identical to the unfused path.
+    """
+    short, long, gate = _wrap(short), _wrap(long), _wrap(gate)
+    s_data, l_data, g_data = short.data, long.data, gate.data
+    diff = g_data * s_data - g_data * l_data
+    positive = diff >= 0
+    exp_neg = np.exp(np.where(positive, -diff, diff))
+    beta = np.where(positive, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg))
+    data = beta * s_data + (1.0 - beta) * l_data
+    if _no_graph(short, long, gate):
+        return Tensor._from_data(data)
+
+    def backward(grad):
+        # d(out)/d(diff) = beta * (1 - beta) * (short - long); diff is
+        # gate-weighted, so the chain rule scales by gate (for short and
+        # long) or by (short - long) (for the gate itself).
+        delta = s_data - l_data
+        u = beta * (1.0 - beta) * delta
+        gate_u = g_data * u
+        grad_short = grad * (beta + gate_u)
+        grad_long = grad * (1.0 - beta - gate_u)
+        grad_gate = grad * (u * delta)
+        return (
+            unbroadcast(grad_short, s_data.shape),
+            unbroadcast(grad_long, l_data.shape),
+            unbroadcast(grad_gate, g_data.shape),
+        )
+
+    return Tensor._make(data, (short, long, gate), backward)
+
+
+@register("joint_rmse")
+def joint_rmse(demand_pred, demand_true, supply_pred, supply_true,
+               eps: float = 1e-12) -> Tensor:
+    """Fused joint demand-supply RMSE (Eq. 21), the training loss.
+
+    ``sqrt(mean((x - x_hat)^2) + mean((y - y_hat)^2) + eps)`` as one
+    recorded op — the unfused expression records nine (two subs, two
+    squares, two means, two adds, a sqrt), all on station-sized arrays
+    where per-op overhead dwarfs the arithmetic. Forward expressions
+    match the unfused path term for term.
+    """
+    demand_pred, demand_true = _wrap_pair(demand_pred, demand_true)
+    supply_pred, supply_true = _wrap_pair(supply_pred, supply_true)
+    demand_diff = demand_pred.data - demand_true.data
+    supply_diff = supply_pred.data - supply_true.data
+    value = np.sqrt(
+        np.mean(demand_diff**2) + np.mean(supply_diff**2) + eps
+    )
+    parents = (demand_pred, demand_true, supply_pred, supply_true)
+    if _no_graph(*parents):
+        return Tensor._from_data(value)
+    need_demand_true = demand_true.requires_grad
+    need_supply_true = supply_true.requires_grad
+
+    def backward(grad):
+        # d/d(pred) sqrt(mean(diff^2) + ...) = diff / (N * L).
+        scale = grad / value
+        grad_demand = (scale / demand_diff.size) * demand_diff
+        grad_supply = (scale / supply_diff.size) * supply_diff
+        return (
+            grad_demand,
+            -grad_demand if need_demand_true else None,
+            grad_supply,
+            -grad_supply if need_supply_true else None,
+        )
+
+    return Tensor._make(np.asarray(value), parents, backward)
 
 
 # ----------------------------------------------------------------------

@@ -27,6 +27,8 @@ the tensor they combine with — never silently upcast to ``float64``.
 from __future__ import annotations
 
 import contextlib
+import itertools
+import operator
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
@@ -35,6 +37,16 @@ from repro import backend
 
 # Global switch mirroring torch.no_grad(): when False, no graph is recorded.
 _GRAD_ENABLED = True
+
+# Monotone creation-sequence counter. Every op output is created *after*
+# its parents, so descending creation order is a topological order of any
+# recorded graph — ``backward`` sorts reachable nodes by this key instead
+# of running a post-order DFS per call. The tape order is, in effect, a
+# topological order cached at graph-construction time: rebuilding the
+# same-shaped graph for the next training sample pays only the counter
+# increment, never a re-derivation of the ordering.
+_SEQ_COUNTER = itertools.count(1)
+_SEQ_KEY = operator.attrgetter("_seq")
 
 
 def is_grad_enabled() -> bool:
@@ -109,7 +121,16 @@ class Tensor:
         Explicit dtype for this tensor, bypassing the backend default.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "_seq",
+        "_grad_buffer",
+    )
 
     def __init__(
         self,
@@ -124,6 +145,8 @@ class Tensor:
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
+        self._seq = next(_SEQ_COUNTER)
+        self._grad_buffer: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -187,6 +210,8 @@ class Tensor:
         out._backward = None
         out._parents = ()
         out.name = None
+        out._seq = 0
+        out._grad_buffer = None
         return out
 
     @staticmethod
@@ -197,20 +222,42 @@ class Tensor:
     ) -> "Tensor":
         """Create an op result wired into the graph (if grad is enabled)."""
         out = Tensor._from_data(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
-            out.requires_grad = True
-            out._parents = parents
-            out._backward = backward
+        if _GRAD_ENABLED:
+            for p in parents:
+                if p.requires_grad:
+                    out.requires_grad = True
+                    out._parents = parents
+                    out._backward = backward
+                    out._seq = next(_SEQ_COUNTER)
+                    break
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+        """Add ``grad`` into ``self.grad``.
+
+        The first accumulation after :meth:`zero_grad` writes into a
+        persistent per-tensor buffer instead of allocating
+        ``zeros_like`` + ``+=`` — for model parameters this makes the
+        training loop's leaf-gradient accumulation allocation-free after
+        the first step. The buffer is reused across steps, so ``.grad``
+        is only stable until the next backward pass (copy it to keep it).
+        """
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            buffer = self._grad_buffer
+            if (
+                buffer is None
+                or buffer.shape != self.data.shape
+                or buffer.dtype != self.data.dtype
+            ):
+                buffer = np.empty_like(self.data)
+                self._grad_buffer = buffer
+            np.copyto(buffer, grad)
+            self.grad = buffer
+        else:
+            self.grad += grad
 
     def zero_grad(self) -> None:
-        """Reset the accumulated gradient."""
+        """Reset the accumulated gradient (the grad buffer is retained)."""
         self.grad = None
 
     def backward(self, grad: np.ndarray | None = None) -> None:
@@ -234,32 +281,59 @@ class Tensor:
                 f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
             )
 
+        if self._backward is None:
+            # Root is itself a leaf: nothing to walk.
+            self._accumulate(grad)
+            return
+
         order = _topological_order(self)
         grads: dict[int, np.ndarray] = {id(self): grad}
+        # Ids whose accumulated gradient array is exclusively owned by
+        # this backward pass (freshly allocated by a fan-in sum below).
+        # Only owned arrays are mutated in place; closure-returned arrays
+        # may alias forward data or the upstream gradient and must never
+        # be written to.
+        owned: set[int] = set()
         for node in order:
             node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node.requires_grad and node._backward is None:
-                # Leaf tensor: accumulate into .grad.
-                node._accumulate(node_grad)
-                continue
-            if node._backward is not None:
+            if node_grad is not None:
                 # Interior node: the closure pushes gradients to parents
-                # through the shared dict.
-                node._backward_dispatch(node_grad, grads)
+                # through the shared dict (leaf parents accumulate into
+                # .grad directly and are never enqueued here).
+                node._backward_dispatch(node_grad, grads, owned)
 
-    def _backward_dispatch(self, grad: np.ndarray, grads: dict[int, np.ndarray]) -> None:
-        """Run the op's backward closure, accumulating into ``grads``."""
+    def _backward_dispatch(
+        self, grad: np.ndarray, grads: dict[int, np.ndarray], owned: set[int]
+    ) -> None:
+        """Run the op's backward closure, accumulating into ``grads``.
+
+        Fan-in accumulation allocates exactly one array per node (on the
+        second contribution); further contributions are added in place
+        into that owned array instead of ``grad = grad + ...`` churn.
+        """
         parent_grads = self._backward(grad)  # type: ignore[misc]
         for parent, parent_grad in zip(self._parents, parent_grads):
             if parent_grad is None or not parent.requires_grad:
                 continue
+            if parent._backward is None:
+                # Leaf: skip the ordering dict and add straight into
+                # .grad (same chronological fan-in order; _accumulate
+                # copies the first contribution, so aliased closure
+                # arrays are never mutated).
+                parent._accumulate(parent_grad)
+                continue
             key = id(parent)
-            if key in grads:
-                grads[key] = grads[key] + parent_grad
-            else:
+            existing = grads.get(key)
+            if existing is None:
                 grads[key] = parent_grad
+            elif key in owned:
+                # Re-store: scalar (0-d) sums are numpy scalars, for
+                # which += rebinds instead of mutating in place.
+                existing += parent_grad
+                grads[key] = existing
+            else:
+                grads[key] = existing + parent_grad
+                owned.add(key)
 
     # ------------------------------------------------------------------
     # Operator overloads (implemented in ops.py to keep this file lean)
@@ -403,28 +477,33 @@ class Tensor:
 
 
 def _topological_order(root: Tensor) -> list[Tensor]:
-    """Return nodes reachable from ``root`` in reverse topological order.
+    """Return interior nodes reachable from ``root`` in reverse
+    topological order.
 
-    Iterative DFS — the graphs built by K-layer GNNs over hundreds of time
-    slots can exceed python's recursion limit.
+    Single-pass iterative reachability (graphs built by K-layer GNNs over
+    hundreds of time slots can exceed python's recursion limit) followed
+    by a C-level sort on the creation sequence number. Ops create their
+    output strictly after their parents, so descending ``_seq`` is a
+    valid topological order — the post-order bookkeeping the seed's
+    two-phase DFS paid per backward call is precomputed at graph
+    construction. Leaves (no backward closure) are excluded: the
+    dispatch loop accumulates their gradients directly, so they need
+    neither ordering nor dict traffic.
     """
-    order: list[Tensor] = []
-    visited: set[int] = set()
-    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    nodes: list[Tensor] = [root]
+    visited: set[int] = {id(root)}
+    stack: list[Tensor] = [root]
     while stack:
-        node, processed = stack.pop()
-        if processed:
-            order.append(node)
-            continue
-        if id(node) in visited:
-            continue
-        visited.add(id(node))
-        stack.append((node, True))
+        node = stack.pop()
         for parent in node._parents:
-            if id(parent) not in visited:
-                stack.append((parent, False))
-    order.reverse()
-    return order
+            if parent._backward is not None:
+                key = id(parent)
+                if key not in visited:
+                    visited.add(key)
+                    nodes.append(parent)
+                    stack.append(parent)
+    nodes.sort(key=_SEQ_KEY, reverse=True)
+    return nodes
 
 
 def _raise_item() -> float:

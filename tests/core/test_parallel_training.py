@@ -1,0 +1,137 @@
+"""Data-parallel gradient engine: serial equivalence and lifecycle.
+
+The contract under test (see ``core/parallel.py``): with a deterministic
+model (dropout 0), training with ``workers=K`` must reproduce the serial
+loss curves to within float64 summation reordering — we assert 1e-9,
+orders of magnitude tighter than any training-relevant difference — and
+the pool must degrade to the serial loop when fork is unavailable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import STGNNDJD
+from repro.core.parallel import GradientWorkerPool, fork_available
+from repro.core.trainer import Trainer, TrainingConfig
+
+PARITY_ATOL = 1e-9
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def make_trainer(dataset, workers: int, epochs: int = 2) -> Trainer:
+    model = STGNNDJD.from_dataset(
+        dataset, seed=3, fcg_layers=1, pcg_layers=1, num_heads=2, dropout=0.0
+    )
+    config = TrainingConfig(
+        epochs=epochs, batch_size=8, seed=5, patience=10, workers=workers
+    )
+    return Trainer(model, dataset, config)
+
+
+class TestConfig:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            TrainingConfig(workers=-1)
+
+    def test_serial_default(self):
+        assert TrainingConfig().workers == 0
+
+
+@needs_fork
+class TestSerialParallelParity:
+    def test_loss_curves_match_serial(self, mini_dataset):
+        serial = make_trainer(mini_dataset, workers=0).fit()
+        parallel = make_trainer(mini_dataset, workers=2).fit()
+        assert len(serial.train_loss) == len(parallel.train_loss)
+        np.testing.assert_allclose(
+            parallel.train_loss, serial.train_loss, rtol=0, atol=PARITY_ATOL
+        )
+        np.testing.assert_allclose(
+            parallel.val_loss, serial.val_loss, rtol=0, atol=PARITY_ATOL
+        )
+
+    def test_single_batch_gradients_match_serial(self, mini_dataset):
+        batch = mini_dataset.split_indices()[0][:6]
+        scale = 1.0 / len(batch)
+
+        serial = make_trainer(mini_dataset, workers=0)
+        serial.optimizer.zero_grad()
+        serial_loss = 0.0
+        for t in batch:
+            loss = serial._sample_loss(int(t))
+            loss.backward(np.asarray(scale))
+            serial_loss += loss.item()
+
+        parallel = make_trainer(mini_dataset, workers=2)
+        parallel.optimizer.zero_grad()
+        with GradientWorkerPool(parallel, 2) as pool:
+            parallel_loss = pool.accumulate_gradients(batch, scale)
+
+        assert parallel_loss == pytest.approx(serial_loss, abs=PARITY_ATOL)
+        for p_serial, p_parallel in zip(
+            serial.optimizer.parameters, parallel.optimizer.parameters
+        ):
+            np.testing.assert_allclose(
+                p_parallel.grad, p_serial.grad, rtol=0, atol=PARITY_ATOL
+            )
+
+
+class TestFallback:
+    def test_zero_workers_returns_none(self, mini_dataset):
+        trainer = make_trainer(mini_dataset, workers=0)
+        assert GradientWorkerPool.create(trainer, 0) is None
+
+    def test_no_fork_falls_back_to_serial(self, mini_dataset, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "fork_available", lambda: False)
+        trainer = make_trainer(mini_dataset, workers=2, epochs=1)
+        assert GradientWorkerPool.create(trainer, 2) is None
+        # fit() must still train (serially) rather than fail.
+        history = trainer.fit()
+        assert len(history.train_loss) == 1
+
+    def test_direct_construction_requires_fork(self, mini_dataset, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "fork_available", lambda: False)
+        trainer = make_trainer(mini_dataset, workers=2)
+        with pytest.raises(RuntimeError, match="fork"):
+            GradientWorkerPool(trainer, 2)
+
+
+@needs_fork
+class TestLifecycle:
+    def test_close_is_idempotent(self, mini_dataset):
+        pool = GradientWorkerPool(make_trainer(mini_dataset, workers=1), 1)
+        pool.close()
+        pool.close()
+
+    def test_closed_pool_rejects_batches(self, mini_dataset):
+        trainer = make_trainer(mini_dataset, workers=1)
+        pool = GradientWorkerPool(trainer, 1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.accumulate_gradients([trainer.dataset.min_history], 1.0)
+
+    def test_worker_error_is_surfaced(self, mini_dataset):
+        trainer = make_trainer(mini_dataset, workers=1)
+        # Sabotage the per-sample loss; the forked worker inherits the
+        # broken trainer and must report the failure, not hang.
+        def boom(t):
+            raise ValueError("sabotaged sample")
+
+        trainer._sample_loss = boom
+        with GradientWorkerPool(trainer, 1) as pool:
+            with pytest.raises(RuntimeError, match="sabotaged sample"):
+                pool.accumulate_gradients([trainer.dataset.min_history], 1.0)
+
+    def test_invalid_worker_count(self, mini_dataset):
+        trainer = make_trainer(mini_dataset, workers=0)
+        with pytest.raises(ValueError, match="num_workers"):
+            GradientWorkerPool(trainer, 0)

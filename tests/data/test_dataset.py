@@ -134,6 +134,51 @@ class TestSampling:
         assert ds.slot_of_day(5) == 1
 
 
+class TestWindowCache:
+    """The stride-view window cache must equal freshly stacked windows.
+
+    The seed built every window with fancy indexing per ``sample()``
+    call; the cache replaces that with zero-copy views plus memoised
+    ``FlowSample`` bundles. These are the regression tests for that
+    substitution: for *every* valid ``t`` the cached arrays must be
+    elementwise identical to the original construction.
+    """
+
+    def test_cache_matches_fresh_stacks_for_all_valid_t(self):
+        ds = make_dataset(days=7, n=4, spd=6, seed=3)
+        k = ds.config.short_window
+        d = ds.config.long_days
+        spd = ds.slots_per_day
+        for t in range(ds.min_history, ds.num_slots):
+            sample = ds.sample(t)
+            # Original constructions: slices for the short window, a
+            # fancy-indexed same-slot stack (oldest first) for the long.
+            long_idx = [t - i * spd for i in range(d, 0, -1)]
+            np.testing.assert_array_equal(sample.short_inflow, ds.inflow[t - k : t])
+            np.testing.assert_array_equal(sample.short_outflow, ds.outflow[t - k : t])
+            np.testing.assert_array_equal(sample.long_inflow, ds.inflow[long_idx])
+            np.testing.assert_array_equal(sample.long_outflow, ds.outflow[long_idx])
+            np.testing.assert_array_equal(sample.target_demand, ds.demand[t])
+            np.testing.assert_array_equal(sample.target_supply, ds.supply[t])
+
+    def test_samples_are_memoised(self):
+        ds = make_dataset()
+        t = ds.min_history + 1
+        assert ds.sample(t) is ds.sample(t)
+
+    def test_windows_are_views_not_copies(self):
+        ds = make_dataset()
+        sample = ds.sample(ds.min_history)
+        assert sample.short_inflow.base is not None
+        assert sample.long_inflow.base is not None
+
+    def test_long_window_views_are_read_only(self):
+        ds = make_dataset()
+        sample = ds.sample(ds.min_history)
+        with pytest.raises(ValueError):
+            sample.long_inflow[0, 0, 0] = 99.0
+
+
 class TestNormalizers:
     def test_fit_on_training_only(self):
         ds = make_dataset(days=10)

@@ -93,6 +93,35 @@ class TestAdam:
         with pytest.raises(ValueError):
             Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
 
+    def test_weight_decay_matches_reference(self):
+        # The fused in-place path folds grad + wd * param into scratch;
+        # it must match the textbook elementwise recurrence.
+        rng = np.random.default_rng(11)
+        start = rng.normal(size=(3, 2))
+        p = Parameter(start.copy())
+        opt = Adam([p], lr=0.05, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.01)
+        ref_p = start.copy()
+        m = np.zeros_like(ref_p)
+        v = np.zeros_like(ref_p)
+        for step in range(1, 4):
+            grad = rng.normal(size=ref_p.shape)
+            p.grad = grad.copy()
+            opt.step()
+            g = grad + 0.01 * ref_p
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g * g
+            m_hat = m / (1 - 0.9**step)
+            v_hat = v / (1 - 0.999**step)
+            ref_p = ref_p - 0.05 * m_hat / (np.sqrt(v_hat) + 1e-8)
+        np.testing.assert_allclose(p.data, ref_p, atol=1e-10)
+
+    def test_weight_decay_does_not_mutate_grad(self):
+        p = Parameter(np.array([2.0, -1.0]))
+        grad = np.array([0.5, 0.5])
+        p.grad = grad
+        Adam([p], lr=0.1, weight_decay=0.1).step()
+        np.testing.assert_allclose(grad, [0.5, 0.5])
+
 
 class TestClipGradNorm:
     def test_no_clip_below_threshold(self):

@@ -285,3 +285,103 @@ class TestSoftmaxGrads:
             return (e / e.sum(axis=-1, keepdims=True) * weight).sum()
 
         check(fn_tensor, fn_numpy, x)
+
+
+class TestFusedOpGrads:
+    """Numerical checks for the fused multi-input kernels."""
+
+    def test_gated_fusion_all_inputs(self):
+        short = RNG.normal(size=(3, 3))
+        long = RNG.normal(size=(3, 3))
+        gate = RNG.normal(size=(3, 3))
+        weight = RNG.normal(size=(3, 3))
+
+        def reference(s, lng, g):
+            beta = 1.0 / (1.0 + np.exp(-(g * s - g * lng)))
+            return ((beta * s + (1.0 - beta) * lng) * weight).sum()
+
+        for index, arrays in enumerate([short, long, gate]):
+            def fn_tensor(t, index=index):
+                inputs = [Tensor(short), Tensor(long), Tensor(gate)]
+                inputs[index] = t
+                return (ops.gated_fusion(*inputs) * Tensor(weight)).sum()
+
+            def fn_numpy(a, index=index):
+                inputs = [short, long, gate]
+                inputs[index] = a
+                return reference(*inputs)
+
+            check(fn_tensor, fn_numpy, arrays.copy())
+
+    def test_joint_rmse_both_predictions(self):
+        demand_true = RNG.normal(size=5)
+        supply_true = RNG.normal(size=5)
+        other_pred = RNG.normal(size=5)
+
+        def check_side(demand_side: bool):
+            def fn_tensor(t):
+                dp = t if demand_side else Tensor(other_pred)
+                sp = Tensor(other_pred) if demand_side else t
+                return ops.joint_rmse(dp, Tensor(demand_true), sp, Tensor(supply_true))
+
+            def fn_numpy(a):
+                dp = a if demand_side else other_pred
+                sp = other_pred if demand_side else a
+                return np.sqrt(
+                    np.mean((dp - demand_true) ** 2)
+                    + np.mean((sp - supply_true) ** 2)
+                    + 1e-12
+                )
+
+            check(fn_tensor, fn_numpy, RNG.normal(size=5))
+
+        check_side(True)
+        check_side(False)
+
+    def test_joint_rmse_matches_unfused_value(self):
+        from repro.nn import joint_demand_supply_loss
+
+        dp, dt = Tensor(RNG.normal(size=4)), Tensor(RNG.normal(size=4))
+        sp, st = Tensor(RNG.normal(size=4)), Tensor(RNG.normal(size=4))
+        fused = joint_demand_supply_loss(dp, dt, sp, st).item()
+        unfused = np.sqrt(
+            np.mean((dp.data - dt.data) ** 2)
+            + np.mean((sp.data - st.data) ** 2)
+            + 1e-12
+        )
+        np.testing.assert_allclose(fused, unfused, rtol=0, atol=0)
+
+    def test_conv1x1_fused_relu_weight_and_input(self):
+        x = RNG.normal(size=(4, 3, 3))
+        w = RNG.normal(size=4)
+        b = RNG.normal(size=(3, 3))
+
+        def fn_tensor(t):
+            return ops.conv1x1(t, Tensor(w), Tensor(b), relu=True).sum()
+
+        def fn_numpy(a):
+            pre = np.tensordot(w, a, axes=1) + b
+            return (pre * (pre > 0)).sum()
+
+        check(fn_tensor, fn_numpy, x.copy())
+
+        def fn_tensor_w(t):
+            return ops.conv1x1(Tensor(x), t, Tensor(b), relu=True).sum()
+
+        def fn_numpy_w(a):
+            pre = np.tensordot(a, x, axes=1) + b
+            return (pre * (pre > 0)).sum()
+
+        check(fn_tensor_w, fn_numpy_w, w.copy())
+
+    def test_conv1x1_leaf_input_gets_no_gradient_compute(self):
+        # Windows fed to conv1x1 are constants; backward must return
+        # None for them (skipping the largest array of the pass) while
+        # still producing weight/bias gradients.
+        x = Tensor(RNG.normal(size=(4, 3, 3)))  # requires_grad=False
+        w = Tensor(RNG.normal(size=4), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3, 3)), requires_grad=True)
+        out = ops.conv1x1(x, w, b, relu=True)
+        out.sum().backward()
+        assert x.grad is None
+        assert w.grad is not None and b.grad is not None

@@ -148,3 +148,65 @@ class TestDetach:
         y = x.detach() * x
         y.backward()
         assert x.grad == pytest.approx(2.0)  # only the non-detached path
+
+
+class TestGradBuffers:
+    """Persistent grad buffers and in-place fan-in accumulation."""
+
+    def test_buffer_reused_across_steps(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3.0).sum().backward()
+        first_buffer = x._grad_buffer
+        assert x.grad is first_buffer
+        x.zero_grad()
+        assert x.grad is None
+        (x * 5.0).sum().backward()
+        # Same storage, fresh values: no allocation on the second pass.
+        assert x._grad_buffer is first_buffer
+        np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+    def test_scalar_fanin_accumulates(self):
+        # Regression: 0-d fan-in sums are numpy scalars, for which +=
+        # rebinds; the dispatch loop must re-store the result.
+        x = Tensor(2.0, requires_grad=True)
+        y = x * x + x
+        y.backward()
+        np.testing.assert_allclose(x.grad, 5.0)
+
+    def test_fanin_does_not_mutate_closure_arrays(self):
+        # add's backward hands the *same* upstream array to both parents;
+        # accumulation into one parent must never corrupt the other's
+        # contribution (in-place adds are restricted to owned arrays).
+        x = Tensor([1.0, 1.0], requires_grad=True)
+        y = Tensor([2.0, 2.0], requires_grad=True)
+        s = x + y
+        (s + s).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+        np.testing.assert_allclose(y.grad, [2.0, 2.0])
+
+    def test_upstream_gradient_array_not_mutated(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x + x  # both parents are the same leaf
+        upstream = np.array([10.0, 20.0])
+        y.backward(upstream)
+        np.testing.assert_allclose(upstream, [10.0, 20.0])
+        np.testing.assert_allclose(x.grad, [20.0, 40.0])
+
+    def test_leaf_root_backward(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        x.backward(np.array([3.0, 4.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 4.0])
+
+    def test_mixed_interior_fanin_to_leaf(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0 + x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_grad_stable_until_next_backward(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        kept = x.grad.copy()
+        x.zero_grad()
+        (x * 7.0).sum().backward()
+        np.testing.assert_allclose(kept, [2.0])  # copy unaffected
+        np.testing.assert_allclose(x.grad, [7.0])
