@@ -1,0 +1,129 @@
+"""Observability smoke gate: instrumented training end to end.
+
+Runs a 2-epoch instrumented training on a tiny synthetic city, then
+checks the full telemetry contract that `repro.obs` documents:
+
+* the JSONL event stream validates against the event schema
+  (``validate_event``) line by line;
+* per-epoch losses in the event stream and in the persisted
+  :class:`RunReport` match the returned :class:`TrainingHistory`
+  exactly (bit-for-bit, not approximately);
+* registry metrics made it into the report (sample counter, epoch
+  span timers, buffer-pool stats);
+* the ``python -m repro.obs.report`` CLI renders both the report and
+  the raw event stream without error.
+
+Global telemetry state (registry enabled flag, active sink) must be
+back to its defaults afterwards — instrumentation is strictly scoped
+to the run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_smoke.py [--out-dir DIR]
+
+Exit status 0 on success; any contract violation raises. When
+``--out-dir`` is given the run artifacts (``*.events.jsonl``,
+``*.report.json``) are left there for upload; otherwise a temporary
+directory is used and cleaned up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401  (resolves via PYTHONPATH when set)
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+EPOCHS = 2
+RUN_ID = "obs-smoke"
+
+
+def run_smoke(out_dir: Path) -> None:
+    from repro import STGNNDJD, SyntheticCityConfig, Trainer, TrainingConfig, generate_city
+    from repro.obs import (
+        ObservabilityConfig,
+        RunReport,
+        active_sink,
+        default_registry,
+        read_events,
+    )
+
+    dataset = generate_city(SyntheticCityConfig.tiny(days=8, num_stations=6), seed=7)
+    model = STGNNDJD.from_dataset(dataset, seed=3)
+    config = TrainingConfig(
+        epochs=EPOCHS,
+        batch_size=8,
+        seed=0,
+        metrics=ObservabilityConfig(out_dir=str(out_dir), run_id=RUN_ID),
+    )
+    print(f"== instrumented training: {EPOCHS} epochs on synthetic tiny city ==")
+    history = Trainer(model, dataset, config).fit()
+
+    events_path = out_dir / f"{RUN_ID}.events.jsonl"
+    report_path = out_dir / f"{RUN_ID}.report.json"
+    assert events_path.exists(), f"missing event stream {events_path}"
+    assert report_path.exists(), f"missing run report {report_path}"
+
+    # Schema validation happens inside read_events(validate=True): any
+    # malformed line raises with its path:lineno.
+    events = read_events(events_path, validate=True)
+    kinds = [e["kind"] for e in events]
+    assert kinds[0] == "run_start" and kinds[-1] == "run_end", kinds
+    assert kinds.count("epoch") == EPOCHS, kinds
+    print(f"   {len(events)} events validated against schema")
+
+    epoch_events = [e for e in events if e["kind"] == "epoch"]
+    assert [e["data"]["train_loss"] for e in epoch_events] == history.train_loss
+    assert [e["data"]["val_loss"] for e in epoch_events] == history.val_loss
+
+    report = RunReport.load(report_path)
+    assert [r.train_loss for r in report.epochs] == history.train_loss
+    assert [r.val_loss for r in report.epochs] == history.val_loss
+    assert report.metrics["trainer.samples"]["value"] > 0
+    assert report.metrics["span.epoch.seconds"]["count"] == EPOCHS
+    assert report.extra["buffer_pool"]["takes"] > 0
+    print("   report/event losses match TrainingHistory exactly")
+
+    assert not default_registry().enabled, "registry left enabled after fit"
+    assert active_sink() is None, "event sink left installed after fit"
+
+    # The report CLI must render both artifact kinds without error.
+    for target in (report_path, events_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.report", str(target)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, f"report CLI failed on {target}:\n{proc.stderr}"
+    print("   report CLI renders report + event stream")
+    print(f"\n{proc.stdout}" if proc.stdout else "")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", type=Path, default=None,
+                        help="keep run artifacts here (default: temp dir)")
+    args = parser.parse_args()
+
+    if args.out_dir is not None:
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        run_smoke(args.out_dir)
+        print(f"artifacts kept in {args.out_dir}")
+    else:
+        with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
+            run_smoke(Path(tmp))
+    print("obs smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

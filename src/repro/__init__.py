@@ -17,7 +17,8 @@ Quickstart::
     Trainer(model, dataset).fit(epochs=5)
 """
 
-from repro import backend
+from repro import backend, obs
+from repro.obs import ObservabilityConfig
 from repro.tensor import Tensor, inference_mode, no_grad
 from repro.data import (
     BikeShareDataset,
@@ -39,6 +40,8 @@ __all__ = [
     "no_grad",
     "inference_mode",
     "backend",
+    "obs",
+    "ObservabilityConfig",
     "TripRecord",
     "Station",
     "StationRegistry",

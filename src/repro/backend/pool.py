@@ -31,15 +31,23 @@ from repro.backend import backend
 
 
 class BufferPool:
-    """Shape/dtype-keyed free lists of reusable scratch arrays."""
+    """Shape/dtype-keyed free lists of reusable scratch arrays.
 
-    __slots__ = ("_free", "_in_use", "hits", "misses")
+    Reuse statistics are first-class: ``takes`` (total requests),
+    ``hits`` (served from a free list), ``misses`` (fresh allocations)
+    and ``peak_outstanding`` (high-water mark of simultaneously held
+    buffers) make pool efficiency inspectable — ``repr(pool)`` or
+    :meth:`stats` — without attaching a profiler.
+    """
+
+    __slots__ = ("_free", "_in_use", "hits", "misses", "peak_outstanding")
 
     def __init__(self) -> None:
         self._free: dict[tuple, list[np.ndarray]] = {}
         self._in_use: list[np.ndarray] = []
         self.hits = 0
         self.misses = 0
+        self.peak_outstanding = 0
 
     def take(self, shape: tuple[int, ...], dtype=None) -> np.ndarray:
         """A scratch array of ``shape``/``dtype`` with undefined contents."""
@@ -53,6 +61,8 @@ class BufferPool:
             self.misses += 1
             buffer = np.empty(shape, dtype=dtype)
         self._in_use.append(buffer)
+        if len(self._in_use) > self.peak_outstanding:
+            self.peak_outstanding = len(self._in_use)
         return buffer
 
     def take_like(self, array: np.ndarray) -> np.ndarray:
@@ -74,10 +84,33 @@ class BufferPool:
     def outstanding(self) -> int:
         return len(self._in_use)
 
+    @property
+    def takes(self) -> int:
+        """Total buffer requests served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of takes served without allocating (0 when unused)."""
+        takes = self.takes
+        return self.hits / takes if takes else 0.0
+
+    def stats(self) -> dict[str, int | float]:
+        """Reuse statistics as a plain dict (run-report friendly)."""
+        return {
+            "takes": self.takes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "outstanding": self.outstanding,
+            "peak_outstanding": self.peak_outstanding,
+        }
+
     def __repr__(self) -> str:
         return (
-            f"BufferPool(outstanding={self.outstanding}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"BufferPool(takes={self.takes}, hits={self.hits}, "
+            f"misses={self.misses}, outstanding={self.outstanding}, "
+            f"peak_outstanding={self.peak_outstanding})"
         )
 
 

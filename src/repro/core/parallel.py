@@ -42,10 +42,13 @@ returns ``None`` and the trainer falls back to the serial loop.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.obs import emit_event
+from repro.obs.registry import default_registry
 from repro.utils import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -68,7 +71,15 @@ def _worker_main(conn, trainer: "Trainer", params: list) -> None:
     Runs in the forked child. ``trainer`` and ``params`` are inherited
     copy-on-write; parameter *values* arrive with every task so the
     worker tracks the parent's optimizer steps.
+
+    Metrics are fork-merged: the worker's (inherited) default registry
+    is reset once at startup so pre-fork parent values are not double
+    counted, then each reply carries the registry delta accumulated
+    while processing the shard. The parent folds deltas in during the
+    reduce, making worker-merged counters equal their serial values.
     """
+    registry = default_registry()
+    registry.reset()
     try:
         while True:
             task = conn.recv()
@@ -76,6 +87,7 @@ def _worker_main(conn, trainer: "Trainer", params: list) -> None:
                 return
             datas, shard, scale = task
             try:
+                busy_start = time.perf_counter()
                 for param, data in zip(params, datas):
                     param.data = data
                     param.grad = None
@@ -85,7 +97,14 @@ def _worker_main(conn, trainer: "Trainer", params: list) -> None:
                     loss = trainer._sample_loss(int(t))
                     loss.backward(upstream)
                     loss_sum += loss.item()
-                conn.send((_OK, (loss_sum, [p.grad for p in params])))
+                delta = None
+                if registry.enabled:
+                    registry.counter("parallel.worker_busy_seconds").inc(
+                        time.perf_counter() - busy_start
+                    )
+                    registry.counter("parallel.worker_tasks").inc()
+                    delta = registry.drain()
+                conn.send((_OK, (loss_sum, [p.grad for p in params], delta)))
             except Exception as exc:  # surface worker errors in the parent
                 conn.send((_ERROR, f"{type(exc).__name__}: {exc}"))
     except (EOFError, KeyboardInterrupt, BrokenPipeError):
@@ -137,12 +156,21 @@ class GradientWorkerPool:
                 "training serially",
                 num_workers,
             )
+            cls._record_fallback("fork_unavailable", num_workers)
             return None
         try:
             return cls(trainer, num_workers)
         except OSError as exc:  # fork/pipe failure (resource limits)
             logger.warning("worker pool creation failed (%s); training serially", exc)
+            cls._record_fallback(f"pool_creation_failed: {exc}", num_workers)
             return None
+
+    @staticmethod
+    def _record_fallback(reason: str, num_workers: int) -> None:
+        """Count + emit a serial-fallback event so it is visible in runs."""
+        default_registry().counter("parallel.fallback").inc()
+        emit_event("event", "parallel.fallback",
+                   reason=reason, requested_workers=num_workers)
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -161,16 +189,25 @@ class GradientWorkerPool:
         datas = [param.data for param in self._params]
         for conn, shard in zip(self._conns, shards):
             conn.send((datas, shard, scale))
+        registry = default_registry()
+        reduce_start = time.perf_counter()
         total = 0.0
         for conn in self._conns:
             status, payload = conn.recv()
             if status != _OK:
                 raise RuntimeError(f"gradient worker failed: {payload}")
-            loss_sum, grads = payload
+            loss_sum, grads, metrics_delta = payload
             total += loss_sum
             for param, grad in zip(self._params, grads):
                 if grad is not None:
                     param._accumulate(grad)
+            if metrics_delta:
+                registry.merge(metrics_delta)
+        if registry.enabled:
+            registry.timer("parallel.reduce_seconds").observe(
+                time.perf_counter() - reduce_start
+            )
+            registry.counter("parallel.batches").inc()
         return total
 
     # ------------------------------------------------------------------

@@ -22,6 +22,8 @@ keeps the seed's serial loop.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,6 +33,8 @@ from repro.core.model import STGNNDJD
 from repro.core.parallel import GradientWorkerPool
 from repro.data.dataset import BikeShareDataset
 from repro.nn import joint_demand_supply_loss, mse_loss
+from repro.obs import ObservabilityConfig, RunRecorder, span
+from repro.obs.registry import default_registry
 from repro.optim import Adam, clip_grad_norm
 from repro.tensor import Tensor, inference_mode
 from repro.utils import get_logger
@@ -57,6 +61,10 @@ class TrainingConfig:
     # "joint" = the paper's Eq. 21 loss; "independent" = plain MSE on
     # demand + MSE on supply (the design-choice ablation in DESIGN.md).
     loss: str = "joint"
+    # Observability: None keeps telemetry fully off; an
+    # ObservabilityConfig makes fit() record a JSONL event stream and a
+    # RunReport under its out_dir (see repro.obs).
+    metrics: ObservabilityConfig | None = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -106,6 +114,14 @@ class Trainer:
         # Normalised target tensors are constants per prediction time;
         # memoise them so epoch k+1 reuses epoch k's allocations.
         self._target_cache: dict[tuple, tuple[Tensor, Tensor]] = {}
+        # Telemetry handles (no-ops until the registry is enabled by a
+        # RunRecorder or repro.obs.enable_metrics()).
+        obs_registry = default_registry()
+        self._obs = obs_registry
+        self._samples_counter = obs_registry.counter("trainer.samples")
+        self._predict_timer = obs_registry.timer("serving.predict_seconds")
+        # Stats of the most recent _run_epoch, for the run recorder.
+        self._epoch_stats: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Target normalisation
@@ -138,6 +154,7 @@ class Trainer:
         return targets
 
     def _sample_loss(self, t: int):
+        self._samples_counter.inc()
         sample = self.dataset.sample(t)
         demand_pred, supply_pred = self.model(sample)
         demand_true, supply_true = self._normalised_targets(t)
@@ -174,13 +191,34 @@ class Trainer:
         best_val = float("inf")
         bad_epochs = 0
 
+        # The recorder enables the metrics registry *before* the worker
+        # pool forks, so workers inherit the enabled flag copy-on-write
+        # and start accumulating their local counters immediately.
+        recorder = None
+        if self.config.metrics is not None:
+            run_config = dataclasses.asdict(self.config)
+            run_config["model"] = type(self.model).__name__
+            recorder = RunRecorder(self.config.metrics, run_config=run_config)
+
         pool = GradientWorkerPool.create(self, self.config.workers)
         try:
             for epoch in range(epochs):
-                epoch_loss = self._run_epoch(train_idx, pool)
-                val_loss = self.validation_loss(val_idx)
+                with span("epoch", epoch=epoch):
+                    epoch_loss = self._run_epoch(train_idx, pool)
+                    val_loss = self.validation_loss(val_idx)
                 history.train_loss.append(epoch_loss)
                 history.val_loss.append(val_loss)
+                if recorder is not None:
+                    stats = self._epoch_stats
+                    recorder.record_epoch(
+                        epoch,
+                        epoch_loss,
+                        val_loss,
+                        grad_norm=stats.get("grad_norm"),
+                        samples_per_sec=stats.get("samples_per_sec"),
+                        learning_rate=self.optimizer.lr,
+                        seconds=stats.get("seconds"),
+                    )
                 if self.config.verbose:
                     logger.info(
                         "epoch %d: train=%.4f val=%.4f", epoch, epoch_loss, val_loss
@@ -198,6 +236,14 @@ class Trainer:
         finally:
             if pool is not None:
                 pool.close()
+            if recorder is not None:
+                recorder.attach("buffer_pool", self._pool.stats())
+                recorder.attach(
+                    "history",
+                    {"best_epoch": history.best_epoch,
+                     "stopped_early": history.stopped_early},
+                )
+                recorder.finish()
 
         if self._best_state is not None:
             self.model.load_state_dict(self._best_state)
@@ -216,7 +262,9 @@ class Trainer:
         if self.config.max_batches_per_epoch is not None:
             batches = batches[: self.config.max_batches_per_epoch]
 
+        start = time.perf_counter()
         total, count = 0.0, 0
+        norm_sum, samples = 0.0, 0
         for batch in batches:
             self.optimizer.zero_grad()
             if pool is not None:
@@ -229,10 +277,17 @@ class Trainer:
                     # upstream gradient by 1/batch instead of rescaling later.
                     loss.backward(np.asarray(1.0 / len(batch)))
                     batch_loss += loss.item()
-            clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+            norm_sum += clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
             self.optimizer.step()
             total += batch_loss / len(batch)
             count += 1
+            samples += len(batch)
+        elapsed = time.perf_counter() - start
+        self._epoch_stats = {
+            "seconds": elapsed,
+            "samples_per_sec": samples / elapsed if elapsed > 0 else 0.0,
+            "grad_norm": norm_sum / count if count else float("nan"),
+        }
         return total / count if count else float("nan")
 
     # ------------------------------------------------------------------
@@ -266,11 +321,21 @@ class Trainer:
         Runs on the forward-only fast path: no graph is recorded, and
         intermediate arrays come from a buffer pool recycled across
         calls — the denormalised outputs are fresh arrays, safe to keep.
+
+        With metrics enabled, each call lands in the
+        ``serving.predict_seconds`` latency histogram and the buffer
+        pool's reuse statistics are mirrored to ``pool.*`` gauges.
         """
         self.model.eval()
+        start = time.perf_counter()
         with inference_mode(), backend.buffer_scope(self._pool):
             demand_pred, supply_pred = self.model(self.dataset.sample(t))
             demand = self.dataset.demand_normalizer.inverse_transform(demand_pred.data)
             supply = self.dataset.supply_normalizer.inverse_transform(supply_pred.data)
+        if self._obs.enabled:
+            self._predict_timer.observe(time.perf_counter() - start)
+            self._obs.gauge("pool.takes").set(self._pool.takes)
+            self._obs.gauge("pool.hits").set(self._pool.hits)
+            self._obs.gauge("pool.peak_outstanding").set(self._pool.peak_outstanding)
         self.model.train()
         return demand, supply

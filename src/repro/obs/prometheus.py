@@ -1,0 +1,60 @@
+"""Prometheus-style text exposition of a metrics registry.
+
+Renders the registry in the Prometheus text format (``# TYPE`` comments,
+``_total`` counter suffix, cumulative ``_bucket{le=...}`` histogram
+series) so a serving process can answer a ``/metrics`` scrape — or a
+human can eyeball the numbers — without any client library. Only the
+exposition *format* is borrowed; there is no HTTP server here.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.registry import Counter, Gauge, Histogram, Registry, default_registry
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    """Metric names: dots and dashes become underscores, per convention."""
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(registry: Registry | None = None) -> str:
+    """The registry's current state in Prometheus exposition format."""
+    registry = registry if registry is not None else default_registry()
+    lines: list[str] = []
+    for name, metric in registry.metrics().items():
+        base = _sanitize(name)
+        if isinstance(metric, Counter):
+            series = base if base.endswith("_total") else f"{base}_total"
+            lines.append(f"# TYPE {series} counter")
+            lines.append(f"{series} {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.bucket_counts):
+                cumulative += count
+                lines.append(
+                    f'{base}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{base}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{base}_sum {_format_value(metric.sum)}")
+            lines.append(f"{base}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.obs.report``."""
+
+import sys
+
+from repro.obs.report import main
+
+sys.exit(main())

@@ -1,0 +1,63 @@
+"""Nestable timing spans: ``with span("epoch"): ...``.
+
+A span measures one structural section of a run — an epoch, a batch, a
+backward pass, a reduce. Spans nest: entering a span inside another
+produces a slash-joined path (``"epoch/backward"``), so the same leaf
+name in different contexts stays distinguishable.
+
+Each completed span is recorded in two places, both optional:
+
+* the default metrics registry, as a duration histogram named
+  ``span.<path>.seconds`` (only when metrics are enabled);
+* the active JSONL sink, as a ``span`` event carrying the path, depth
+  and duration (only when a sink is installed).
+
+With neither active, a span costs two ``perf_counter`` calls and a list
+append — cheap enough to leave in library code permanently.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Iterator
+
+from repro.obs.events import emit_event
+from repro.obs.registry import default_registry
+
+_STACK: list[str] = []
+
+
+def span_stack() -> tuple[str, ...]:
+    """Names of the currently open spans, outermost first."""
+    return tuple(_STACK)
+
+
+def current_span() -> str | None:
+    """Slash-joined path of the innermost open span, or None."""
+    return "/".join(_STACK) if _STACK else None
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs) -> Iterator[None]:
+    """Time a section; record it to the registry and event sink on exit.
+
+    ``attrs`` are attached verbatim to the emitted span event (they must
+    be JSON-serialisable); they do not affect the metric name.
+    """
+    if "/" in name:
+        raise ValueError(f"span names must not contain '/': {name!r}")
+    _STACK.append(name)
+    path = "/".join(_STACK)
+    depth = len(_STACK)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        duration = time.perf_counter() - start
+        popped = _STACK.pop()
+        assert popped is name
+        registry = default_registry()
+        if registry.enabled:
+            registry.timer(f"span.{path}.seconds").observe(duration)
+        emit_event("span", path, duration_seconds=duration, depth=depth, **attrs)

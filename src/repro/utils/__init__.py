@@ -2,6 +2,6 @@
 
 from repro.utils.seeding import seeded_rng, spawn_rngs
 from repro.utils.timer import Timer
-from repro.utils.logging import get_logger
+from repro.utils.logging import get_logger, set_global_level
 
-__all__ = ["seeded_rng", "spawn_rngs", "Timer", "get_logger"]
+__all__ = ["seeded_rng", "spawn_rngs", "Timer", "get_logger", "set_global_level"]

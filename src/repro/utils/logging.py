@@ -2,6 +2,12 @@
 
 A thin wrapper over :mod:`logging` so library modules never call
 ``basicConfig`` (which would hijack the host application's logging).
+
+Levels are sticky: :func:`get_logger` configures a logger's level only
+when it first installs the handler. Repeat calls — every module does
+one at import time — never clobber a level the host application (or a
+prior caller) has set. Use :func:`set_global_level` to change every
+``repro.*`` logger at once.
 """
 
 from __future__ import annotations
@@ -9,15 +15,35 @@ from __future__ import annotations
 import logging
 
 _FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_ROOT_NAME = "repro"
 
 
-def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
-    """Return a namespaced logger with a one-time stream handler."""
-    logger = logging.getLogger(f"repro.{name}")
+def get_logger(name: str, level: int | None = None) -> logging.Logger:
+    """Return a namespaced logger with a one-time stream handler.
+
+    ``level`` applies only on the call that installs the handler
+    (defaulting to ``INFO``); afterwards the configured level — whether
+    set here, by the host application, or via :func:`set_global_level` —
+    is left alone.
+    """
+    logger = logging.getLogger(f"{_ROOT_NAME}.{name}")
     if not logger.handlers:
         handler = logging.StreamHandler()
         handler.setFormatter(logging.Formatter(_FORMAT))
         logger.addHandler(handler)
         logger.propagate = False
-    logger.setLevel(level)
+        logger.setLevel(logging.INFO if level is None else level)
     return logger
+
+
+def set_global_level(level: int) -> None:
+    """Set ``level`` on every existing ``repro.*`` logger (and the root).
+
+    Loggers created by :func:`get_logger` don't propagate to the
+    ``repro`` parent, so each one carries its own level; this walks the
+    logging manager's registry and updates them all in one call.
+    """
+    logging.getLogger(_ROOT_NAME).setLevel(level)
+    for name, logger in logging.Logger.manager.loggerDict.items():
+        if isinstance(logger, logging.Logger) and name.startswith(f"{_ROOT_NAME}."):
+            logger.setLevel(level)

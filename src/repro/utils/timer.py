@@ -8,6 +8,11 @@ import time
 class Timer:
     """Context-manager stopwatch accumulating over repeated sections.
 
+    Not reentrant: a ``Timer`` times disjoint sections, and nesting the
+    same instance would silently overwrite the running start time and
+    corrupt ``total`` — so nested entry raises instead. Use separate
+    ``Timer`` instances (or :func:`repro.obs.span`) for nested scopes.
+
     >>> timer = Timer()
     >>> with timer:
     ...     pass
@@ -21,6 +26,10 @@ class Timer:
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer is not reentrant: already timing a section"
+            )
         self._start = time.perf_counter()
         return self
 
@@ -30,6 +39,11 @@ class Timer:
         self.total += time.perf_counter() - self._start
         self.count += 1
         self._start = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently inside a ``with`` block."""
+        return self._start is not None
 
     @property
     def mean(self) -> float:

@@ -161,3 +161,53 @@ class TestBufferPool:
             assert isinstance(pool, BufferPool)
             assert active_pool() is pool
         assert active_pool() is None
+
+
+class TestBufferPoolStats:
+    def test_takes_and_hit_rate(self):
+        pool = BufferPool()
+        assert pool.takes == 0
+        assert pool.hit_rate == 0.0
+        pool.take((2, 2))
+        pool.release_all()
+        pool.take((2, 2))
+        pool.take((3, 3))
+        assert pool.takes == 3
+        assert pool.hits == 1 and pool.misses == 2
+        assert pool.hit_rate == pytest.approx(1 / 3)
+
+    def test_peak_outstanding_high_water_mark(self):
+        pool = BufferPool()
+        pool.take((2,))
+        pool.take((2,))
+        pool.take((2,))
+        assert pool.peak_outstanding == 3
+        pool.release_all()
+        pool.take((2,))
+        # The mark is a high-water mark: release does not lower it.
+        assert pool.outstanding == 1
+        assert pool.peak_outstanding == 3
+
+    def test_stats_dict(self):
+        pool = BufferPool()
+        pool.take((2, 2))
+        pool.release_all()
+        pool.take((2, 2))
+        assert pool.stats() == {
+            "takes": 2,
+            "hits": 1,
+            "misses": 1,
+            "hit_rate": 0.5,
+            "outstanding": 1,
+            "peak_outstanding": 1,
+        }
+
+    def test_repr_carries_reuse_statistics(self):
+        pool = BufferPool()
+        pool.take((2, 2))
+        pool.release_all()
+        pool.take((2, 2))
+        assert repr(pool) == (
+            "BufferPool(takes=2, hits=1, misses=1, "
+            "outstanding=1, peak_outstanding=1)"
+        )

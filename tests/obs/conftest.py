@@ -1,0 +1,20 @@
+"""Obs test fixtures: keep the process-global telemetry state clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import default_registry, enable_metrics, set_sink
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Reset the default registry and sink around every obs test."""
+    registry = default_registry()
+    previous = enable_metrics(False)
+    registry.reset()
+    prev_sink = set_sink(None)
+    yield registry
+    enable_metrics(previous)
+    registry.reset()
+    set_sink(prev_sink)

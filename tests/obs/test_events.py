@@ -1,0 +1,90 @@
+"""JSONL event stream: schema validation and round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlExporter,
+    emit_event,
+    make_event,
+    read_events,
+    set_sink,
+    sink_scope,
+    validate_event,
+)
+
+
+class TestSchema:
+    def test_make_event_conforms(self):
+        event = make_event("epoch", "trainer", {"epoch": 0, "loss": 0.5})
+        validate_event(event)
+        assert event["kind"] == "epoch"
+        assert event["data"]["loss"] == 0.5
+
+    @pytest.mark.parametrize("bad", [
+        "not a dict",
+        {"kind": "epoch", "name": "x", "data": {}},              # missing ts
+        {"ts": 1.0, "kind": "nope", "name": "x", "data": {}},    # bad kind
+        {"ts": 1.0, "kind": "epoch", "name": "", "data": {}},    # empty name
+        {"ts": 1.0, "kind": "epoch", "name": "x", "data": []},   # bad data
+        {"ts": 1.0, "kind": "epoch", "name": "x", "data": {}, "zzz": 1},
+        {"ts": True, "kind": "epoch", "name": "x", "data": {}},  # bool ts
+    ])
+    def test_bad_events_rejected(self, bad):
+        with pytest.raises(ValueError):
+            validate_event(bad)
+
+
+class TestJsonlRoundTrip:
+    def test_emit_read_validate(self, tmp_path):
+        path = tmp_path / "run.events.jsonl"
+        with JsonlExporter(path) as exporter:
+            first = exporter.emit("run_start", "run-1", config={"epochs": 2})
+            second = exporter.emit("epoch", "run-1", epoch=0, train_loss=0.25)
+        events = read_events(path, validate=True)
+        assert events == [first, second]
+
+    def test_invalid_line_pinpointed(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps(make_event("event", "x")) + "\n" + "{not json}\n"
+        )
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_events(path)
+
+    def test_schema_violation_pinpointed(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 1.0, "kind": "nope", "name": "x", "data": {}}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            read_events(path)
+        # validation can be turned off for forensic reads
+        assert len(read_events(path, validate=False)) == 1
+
+    def test_closed_exporter_raises(self, tmp_path):
+        exporter = JsonlExporter(tmp_path / "x.jsonl")
+        exporter.close()
+        with pytest.raises(RuntimeError):
+            exporter.emit("event", "x")
+
+
+class TestGlobalSink:
+    def test_emit_without_sink_is_noop(self):
+        assert emit_event("event", "orphan") is None
+
+    def test_sink_scope_routes_and_restores(self, tmp_path):
+        path = tmp_path / "scoped.jsonl"
+        with sink_scope(JsonlExporter(path)) as sink:
+            emit_event("event", "inside", value=1)
+            sink.close()
+        assert emit_event("event", "outside") is None
+        events = read_events(path)
+        assert [e["name"] for e in events] == ["inside"]
+
+    def test_set_sink_returns_previous(self, tmp_path):
+        sink = JsonlExporter(tmp_path / "a.jsonl")
+        assert set_sink(sink) is None
+        assert set_sink(None) is sink
+        sink.close()

@@ -1,0 +1,97 @@
+"""RunReport round-trip and the ``python -m repro.obs.report`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import EpochRecord, RunReport, render_report
+from repro.obs.report import main as report_main
+
+
+def sample_report() -> RunReport:
+    report = RunReport(run_id="run-x", config={"epochs": 2, "seed": 0})
+    report.epochs.append(EpochRecord(0, 0.5, 0.4, grad_norm=1.2,
+                                     samples_per_sec=100.0,
+                                     learning_rate=0.01, seconds=1.5))
+    report.epochs.append(EpochRecord(1, 0.3, 0.35))
+    report.metrics = {"trainer.samples": {"kind": "counter", "value": 64.0}}
+    report.extra = {"op_profile": {"total_calls": 10, "total_seconds": 0.1,
+                                   "total_bytes": 1000, "fused_coverage": 0.4,
+                                   "ops": {}}}
+    return report
+
+
+class TestRunReport:
+    def test_round_trip(self, tmp_path):
+        report = sample_report()
+        path = report.save(tmp_path / "run-x.report.json")
+        loaded = RunReport.load(path)
+        assert loaded == report
+        assert json.loads(path.read_text())["schema"] == 1
+
+    def test_best_epoch(self):
+        report = sample_report()
+        assert report.best_epoch == 1
+        assert RunReport(run_id="empty").best_epoch == -1
+
+    def test_render_contains_table_and_metrics(self):
+        text = render_report(sample_report())
+        assert "run-x" in text
+        assert "0.50000" in text and "0.35000" in text
+        assert "best epoch: 1" in text
+        assert "trainer.samples" in text
+        assert "fused coverage 40.0%" in text
+
+
+class TestCli:
+    def test_renders_report_file(self, tmp_path, capsys):
+        path = sample_report().save(tmp_path / "run-x.report.json")
+        assert report_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run-x" in out and "best epoch" in out
+
+    def test_directory_picks_newest_report(self, tmp_path, capsys):
+        old = sample_report()
+        old.run_id = "run-old"
+        old.save(tmp_path / "run-old.report.json")
+        new = sample_report()
+        new.run_id = "run-new"
+        new.save(tmp_path / "run-new.report.json")
+        assert report_main([str(tmp_path)]) == 0
+        assert "run-new" in capsys.readouterr().out
+
+    def test_renders_event_stream(self, tmp_path, capsys):
+        from repro.obs import JsonlExporter
+
+        path = tmp_path / "run.events.jsonl"
+        with JsonlExporter(path) as exporter:
+            exporter.emit("run_start", "run-1")
+            exporter.emit("epoch", "run-1", epoch=0, train_loss=0.5, val_loss=0.4)
+        assert report_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 events" in out and "0.50000" in out
+
+    def test_json_dump(self, tmp_path, capsys):
+        path = sample_report().save(tmp_path / "r.report.json")
+        assert report_main([str(path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["run_id"] == "run-x"
+
+    def test_missing_report_errors(self, tmp_path, capsys):
+        assert report_main([str(tmp_path)]) == 1
+        assert "no *.report.json" in capsys.readouterr().err
+
+    def test_runs_as_module(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        path = sample_report().save(tmp_path / "r.report.json")
+        src = Path(__file__).resolve().parents[2] / "src"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.report", str(path)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "run-x" in proc.stdout
+        assert "RuntimeWarning" not in proc.stderr

@@ -1,0 +1,71 @@
+"""Span nesting, metric recording and event emission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    JsonlExporter,
+    current_span,
+    enable_metrics,
+    read_events,
+    sink_scope,
+    span,
+    span_stack,
+)
+
+
+class TestNesting:
+    def test_paths_nest_and_unwind(self):
+        assert current_span() is None
+        with span("epoch"):
+            assert current_span() == "epoch"
+            with span("batch"):
+                assert current_span() == "epoch/batch"
+                assert span_stack() == ("epoch", "batch")
+            assert current_span() == "epoch"
+        assert current_span() is None
+
+    def test_unwinds_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("inner"):
+                    raise RuntimeError("boom")
+        assert current_span() is None
+
+    def test_slash_in_name_rejected(self):
+        with pytest.raises(ValueError):
+            with span("a/b"):
+                pass
+
+
+class TestRecording:
+    def test_records_timer_metric_when_enabled(self, clean_telemetry):
+        enable_metrics(True)
+        with span("epoch"):
+            with span("backward"):
+                pass
+        metrics = clean_telemetry.metrics()
+        assert metrics["span.epoch.seconds"].count == 1
+        assert metrics["span.epoch/backward.seconds"].count == 1
+        assert (metrics["span.epoch.seconds"].sum
+                >= metrics["span.epoch/backward.seconds"].sum)
+
+    def test_no_metrics_when_disabled(self, clean_telemetry):
+        with span("quiet"):
+            pass
+        assert "span.quiet.seconds" not in clean_telemetry
+
+    def test_emits_span_events(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with sink_scope(JsonlExporter(path)) as sink:
+            with span("epoch", epoch=3):
+                with span("batch"):
+                    pass
+            sink.close()
+        events = read_events(path)
+        # Inner span closes (and is emitted) first.
+        assert [e["name"] for e in events] == ["epoch/batch", "epoch"]
+        assert events[0]["data"]["depth"] == 2
+        assert events[1]["data"]["epoch"] == 3
+        assert events[1]["data"]["duration_seconds"] >= 0

@@ -6,7 +6,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.utils import Timer, get_logger, seeded_rng, spawn_rngs
+from repro.utils import Timer, get_logger, seeded_rng, set_global_level, spawn_rngs
 
 
 class TestSeeding:
@@ -45,6 +45,39 @@ class TestTimer:
     def test_mean_of_unused_timer(self):
         assert Timer().mean == 0.0
 
+    def test_nested_entry_raises(self):
+        timer = Timer()
+        with timer:
+            with pytest.raises(RuntimeError, match="reentrant"):
+                timer.__enter__()
+        # The failed nested entry must not corrupt the accumulator.
+        assert timer.count == 1
+        assert not timer.running
+
+    def test_usable_after_nested_entry_failure(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            with timer:
+                with timer:
+                    pass  # pragma: no cover - never reached
+        # The inner failure aborts the with-block; outer __exit__ already
+        # ran, so the timer is back to a clean, reusable state.
+        assert not timer.running
+        with timer:
+            time.sleep(0.001)
+        assert timer.count == 2
+
+    def test_running_flag(self):
+        timer = Timer()
+        assert not timer.running
+        with timer:
+            assert timer.running
+        assert not timer.running
+
+    def test_exit_without_enter_raises(self):
+        with pytest.raises(RuntimeError, match="without entering"):
+            Timer().__exit__(None, None, None)
+
 
 class TestLogger:
     def test_namespaced(self):
@@ -60,3 +93,33 @@ class TestLogger:
     def test_level_configurable(self):
         logger = get_logger("lvl", level=logging.DEBUG)
         assert logger.level == logging.DEBUG
+
+    def test_repeat_calls_do_not_clobber_level(self):
+        logger = get_logger("sticky")
+        assert logger.level == logging.INFO
+        # The host application tunes the level...
+        logger.setLevel(logging.WARNING)
+        # ...and a later import-time get_logger must leave it alone,
+        # even when passing an explicit level.
+        assert get_logger("sticky").level == logging.WARNING
+        assert get_logger("sticky", level=logging.DEBUG).level == logging.WARNING
+
+    def test_set_global_level(self):
+        a = get_logger("global-a")
+        b = get_logger("global-b")
+        set_global_level(logging.ERROR)
+        try:
+            assert a.level == logging.ERROR
+            assert b.level == logging.ERROR
+            assert logging.getLogger("repro").level == logging.ERROR
+        finally:
+            set_global_level(logging.INFO)
+
+    def test_set_global_level_skips_foreign_loggers(self):
+        foreign = logging.getLogger("reproducibility.other")
+        foreign.setLevel(logging.CRITICAL)
+        set_global_level(logging.DEBUG)
+        try:
+            assert foreign.level == logging.CRITICAL
+        finally:
+            set_global_level(logging.INFO)
