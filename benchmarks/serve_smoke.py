@@ -1,0 +1,166 @@
+"""Serving smoke gate: the HTTP surface end to end, with parity checks.
+
+Boots a :class:`repro.serve.ServingHTTPServer` on a loopback port and
+drives the full online lifecycle over real HTTP:
+
+* ``/healthz`` answers and reports a warmed-up store;
+* ``/ingest`` accepts a batch of live trips;
+* ``/predict`` answers — and the forecast matches, bit for bit, a
+  reference computation on a mirror :class:`FlowStateStore` fed the
+  same events directly (no drift between the HTTP path and the
+  library path);
+* ``/metrics`` exposes the serve counters in Prometheus text format;
+* ``/admin/reload`` hot-swaps a second checkpoint, after which
+  ``/predict`` matches the mirror forecast under the *new* weights.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+
+Exit status 0 on success; any non-2xx answer or parity drift raises.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401  (resolves via PYTHONPATH when set)
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import STGNNDJD, SyntheticCityConfig, generate_city
+from repro.core import load_stgnn, save_checkpoint
+from repro.obs import enable_metrics
+from repro.serve import FlowStateStore, PredictionService, make_server
+from repro.tensor import inference_mode
+
+SEED = 2022
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=30.0) as response:
+        body = response.read()
+        if path == "/metrics":
+            return response.status, body.decode("utf-8")
+        return response.status, json.loads(body)
+
+
+def _post(base: str, path: str, payload: dict):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return response.status, json.loads(response.read())
+
+
+def _mirror_forecast(checkpoint: Path, store: FlowStateStore, dataset):
+    """Reference forecast: library path, no service, no HTTP."""
+    model = load_stgnn(checkpoint)
+    with inference_mode():
+        demand, supply = model(store.sample())
+    return (
+        dataset.demand_normalizer.inverse_transform(demand.data),
+        dataset.supply_normalizer.inverse_transform(supply.data),
+    )
+
+
+def run_smoke() -> None:
+    dataset = generate_city(SyntheticCityConfig.tiny(), seed=SEED)
+    slot_seconds = dataset.config.slot_seconds
+
+    with tempfile.TemporaryDirectory() as tmp:
+        first = Path(tmp) / "first.npz"
+        second = Path(tmp) / "second.npz"
+        save_checkpoint(STGNNDJD.from_dataset(dataset, seed=SEED), first)
+        save_checkpoint(STGNNDJD.from_dataset(dataset, seed=SEED + 1), second)
+
+        service = PredictionService.from_checkpoint(
+            first, FlowStateStore.from_dataset(dataset),
+            dataset.demand_normalizer, dataset.supply_normalizer,
+        )
+        # The mirror store receives the same events through the library
+        # API; any divergence from the HTTP answers is a parity failure.
+        mirror = FlowStateStore.from_dataset(dataset)
+
+        enable_metrics()
+        http_server = make_server(service, port=0)
+        host, port = http_server.server_address[:2]
+        base = f"http://{host}:{port}"
+        thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+        thread.start()
+        service.start()
+        try:
+            status, health = _get(base, "/healthz")
+            assert status == 200 and health["status"] == "ok", health
+            assert health["warmed_up"] is True, health
+            print(f"[smoke] /healthz ok (frontier={health['frontier']})")
+
+            now = service.store.frontier * slot_seconds
+            trips = [
+                {"origin": 0, "destination": 5,
+                 "start_time": now + 30.0, "end_time": now + 400.0},
+                {"origin": 3, "destination": 1,
+                 "start_time": now + 45.0, "end_time": now + 2 * slot_seconds},
+                {"origin": 6, "destination": 0,
+                 "start_time": now + 90.0, "end_time": now + 600.0},
+            ]
+            status, body = _post(base, "/ingest", {"trips": trips})
+            assert status == 200 and body["accepted"] == len(trips), body
+            for trip in trips:
+                mirror.ingest_event(trip["origin"], trip["destination"],
+                                    trip["start_time"], trip["end_time"])
+            print(f"[smoke] /ingest ok ({body['accepted']} trips)")
+
+            status, forecast = _get(base, "/predict")
+            assert status == 200, forecast
+            demand, supply = _mirror_forecast(first, mirror, dataset)
+            assert np.array_equal(np.asarray(forecast["demand"]), demand), \
+                "HTTP /predict demand drifted from the library path"
+            assert np.array_equal(np.asarray(forecast["supply"]), supply), \
+                "HTTP /predict supply drifted from the library path"
+            print(f"[smoke] /predict ok, bitwise parity with the library "
+                  f"path (slot {forecast['slot']})")
+
+            status, text = _get(base, "/metrics")
+            assert status == 200, text
+            for metric in ("serve_requests_total", "serve_ingest_events_total"):
+                assert metric in text, f"{metric} missing from /metrics"
+            print("[smoke] /metrics ok (serve counters exposed)")
+
+            status, body = _post(base, "/admin/reload",
+                                 {"checkpoint": str(second)})
+            assert status == 200 and body["reloaded"] is True, body
+            status, reloaded = _get(base, "/predict")
+            assert status == 200, reloaded
+            demand, supply = _mirror_forecast(second, mirror, dataset)
+            assert np.array_equal(np.asarray(reloaded["demand"]), demand), \
+                "post-reload /predict does not match the new weights"
+            assert not np.array_equal(np.asarray(reloaded["demand"]),
+                                      np.asarray(forecast["demand"])), \
+                "reload did not change the served model"
+            print(f"[smoke] /admin/reload ok "
+                  f"(model_version={body['model_version']})")
+        finally:
+            service.stop()
+            http_server.shutdown()
+            http_server.server_close()
+            thread.join(timeout=5.0)
+            enable_metrics(False)
+    print("[smoke] serving smoke passed")
+
+
+if __name__ == "__main__":
+    run_smoke()

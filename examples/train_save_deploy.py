@@ -10,7 +10,10 @@ that lifecycle:
 2. in a fresh "serving" phase, rebuild the model from the checkpoint
    alone (no dataset needed for the weights);
 3. replay the test days as an online loop, timing each per-slot
-   prediction and comparing the mean latency to the slot duration.
+   prediction and comparing the mean latency to the slot duration;
+4. boot a :class:`repro.serve.PredictionService` from the checkpoint,
+   stream live trip events into its incremental flow-state store, and
+   answer micro-batched forecast queries — the production-shaped path.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro import (
     generate_city,
 )
 from repro.core import load_stgnn, save_checkpoint
+from repro.serve import FlowStateStore, PredictionService
 from repro.utils import Timer
 
 
@@ -69,6 +73,34 @@ def main() -> None:
           f"mean latency {timer.mean * 1000:.1f} ms "
           f"({timer.mean / slot * 100:.4f}% of the {slot:.0f}s slot)")
     print(f"[online] accuracy: {evaluate_model(serving_trainer, dataset)}")
+
+    # --- serving phase --------------------------------------------------
+    # The production-shaped path: an incremental flow-state store fed by
+    # live events, a micro-batching dispatcher, and a per-slot cache.
+    print("[serving] booting PredictionService from checkpoint ...")
+    store = FlowStateStore.from_dataset(dataset)
+    with PredictionService.from_checkpoint(
+        args.checkpoint, store,
+        dataset.demand_normalizer, dataset.supply_normalizer,
+    ) as service:
+        forecast = service.predict()
+        print(f"[serving] slot {forecast.slot}: "
+              f"demand[0]={forecast.demand[0]:.2f} "
+              f"supply[0]={forecast.supply[0]:.2f}")
+        # Stream a few live trips into the open slot, roll the clock
+        # over, and forecast the next slot from the updated state.
+        now = store.frontier * slot
+        for origin, destination in [(0, 5), (3, 2), (7, 0), (5, 11)]:
+            store.ingest_event(origin, destination,
+                               start_time=now + 60.0,
+                               end_time=now + 60.0 + slot / 2)
+        store.advance_to(store.frontier + 1)
+        forecast = service.predict()
+        cached = service.predict()  # same slot, same state: served from cache
+        print(f"[serving] slot {forecast.slot} after ingest+rollover: "
+              f"demand[0]={forecast.demand[0]:.2f} "
+              f"(repeat query cached={cached.cached})")
+    print("[serving] service stopped cleanly")
 
 
 if __name__ == "__main__":

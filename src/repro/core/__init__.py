@@ -10,6 +10,9 @@ from repro.core.gnn import FlowGNN, PatternGNN
 from repro.core.model import STGNNDJD, STGNNDJDConfig
 from repro.core.trainer import Trainer, TrainingConfig, TrainingHistory
 from repro.core.persistence import (
+    SCHEMA_VERSION,
+    CheckpointSchemaError,
+    checkpoint_schema_version,
     load_config,
     load_state,
     load_stgnn,
@@ -38,6 +41,9 @@ __all__ = [
     "load_state",
     "load_config",
     "load_stgnn",
+    "SCHEMA_VERSION",
+    "CheckpointSchemaError",
+    "checkpoint_schema_version",
     "select_config",
     "expand_grid",
     "SearchResult",

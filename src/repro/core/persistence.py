@@ -5,6 +5,12 @@ predict-online; checkpoints are the artifact that crosses that
 boundary. A checkpoint stores the parameter arrays plus the model
 configuration, so :func:`load_stgnn` can rebuild the exact model without
 the original dataset.
+
+Checkpoints carry a **schema version** (:data:`SCHEMA_VERSION`) so a
+live server hot-reloading a checkpoint from a newer or incompatible
+writer fails loudly with :class:`CheckpointSchemaError` instead of
+loading garbage weights. Version-less checkpoints written before the
+field existed still load (legacy format, treated as version 1).
 """
 
 from __future__ import annotations
@@ -19,6 +25,36 @@ from repro.core.model import STGNNDJD, STGNNDJDConfig
 from repro.nn import Module
 
 _CONFIG_KEY = "__config_json__"
+_SCHEMA_KEY = "__schema_version__"
+
+#: Current checkpoint schema. Bump when the on-disk layout changes in a
+#: way old readers cannot interpret; readers reject any other version.
+SCHEMA_VERSION = 1
+
+_META_KEYS = (_CONFIG_KEY, _SCHEMA_KEY)
+
+
+class CheckpointSchemaError(RuntimeError):
+    """A checkpoint's schema version does not match this reader."""
+
+
+def _check_schema(bundle, path: str | Path) -> None:
+    if _SCHEMA_KEY not in bundle.files:
+        return  # legacy version-less checkpoint: accepted as version 1
+    version = int(bundle[_SCHEMA_KEY])
+    if version != SCHEMA_VERSION:
+        raise CheckpointSchemaError(
+            f"checkpoint {path} has schema version {version}, but this "
+            f"reader supports version {SCHEMA_VERSION}; refusing to load"
+        )
+
+
+def checkpoint_schema_version(path: str | Path) -> int | None:
+    """The schema version stored in a checkpoint (None for legacy files)."""
+    with np.load(Path(path)) as bundle:
+        if _SCHEMA_KEY not in bundle.files:
+            return None
+        return int(bundle[_SCHEMA_KEY])
 
 
 def save_checkpoint(model: Module, path: str | Path) -> None:
@@ -31,22 +67,25 @@ def save_checkpoint(model: Module, path: str | Path) -> None:
         arrays[_CONFIG_KEY] = np.frombuffer(
             config_json.encode("utf-8"), dtype=np.uint8
         ).copy()
+    arrays[_SCHEMA_KEY] = np.asarray(SCHEMA_VERSION, dtype=np.int64)
     np.savez(path, **arrays)
 
 
 def load_state(path: str | Path) -> dict[str, np.ndarray]:
     """Read the raw parameter dict from a checkpoint."""
     with np.load(Path(path)) as bundle:
+        _check_schema(bundle, path)
         return {
             name: bundle[name].copy()
             for name in bundle.files
-            if name != _CONFIG_KEY
+            if name not in _META_KEYS
         }
 
 
 def load_config(path: str | Path) -> STGNNDJDConfig:
     """Read the model configuration stored in a checkpoint."""
     with np.load(Path(path)) as bundle:
+        _check_schema(bundle, path)
         if _CONFIG_KEY not in bundle.files:
             raise KeyError(f"checkpoint {path} carries no model config")
         raw = bytes(bundle[_CONFIG_KEY]).decode("utf-8")

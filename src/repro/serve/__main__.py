@@ -1,0 +1,112 @@
+"""``python -m repro.serve`` — boot the prediction HTTP server.
+
+Serves a checkpoint (or a freshly initialised model when none is given)
+over a synthetic city whose history warm-starts the flow-state store::
+
+    # train + checkpoint first, e.g. examples/train_save_deploy.py
+    python -m repro.serve --checkpoint /tmp/stgnn.npz --port 8973
+
+    curl localhost:8973/healthz
+    curl -X POST localhost:8973/ingest -d \\
+        '{"trips": [{"origin": 0, "destination": 3,
+                     "start_time": 1210000, "end_time": 1210600}]}'
+    curl 'localhost:8973/predict?stations=0,3'
+    curl localhost:8973/metrics
+    curl -X POST localhost:8973/admin/reload
+
+The ``--city`` options regenerate the same deterministic synthetic
+datasets the examples use, so a checkpoint trained by
+``examples/train_save_deploy.py`` matches ``--city deploy`` here.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.model import STGNNDJD
+from repro.core.persistence import load_stgnn
+from repro.data.synthetic import SyntheticCityConfig, generate_city
+from repro.obs.registry import enable_metrics
+from repro.serve.http import make_server
+from repro.serve.service import PredictionService, ServiceConfig
+from repro.utils import get_logger, set_global_level
+
+logger = get_logger("serve.cli")
+
+
+def _city_config(name: str) -> SyntheticCityConfig:
+    if name == "tiny":
+        return SyntheticCityConfig.tiny()
+    if name == "la":
+        return SyntheticCityConfig.la_like(days=14)
+    if name == "chicago":
+        return SyntheticCityConfig.chicago_like(days=14)
+    if name == "deploy":
+        # Mirrors examples/train_save_deploy.py so its checkpoint loads.
+        return SyntheticCityConfig(
+            name="deploy-city", num_stations=12, days=14,
+            trips_per_day=70.0 * 12, slot_seconds=1800.0,
+            short_window=48, long_days=3,
+        )
+    raise ValueError(f"unknown city preset {name!r}")
+
+
+def build_service(args: argparse.Namespace) -> PredictionService:
+    dataset = generate_city(_city_config(args.city), seed=args.seed)
+    if args.checkpoint:
+        model = load_stgnn(args.checkpoint)
+    else:
+        logger.warning("no --checkpoint given: serving an untrained model")
+        model = STGNNDJD.from_dataset(dataset, seed=args.seed)
+    config = ServiceConfig(
+        max_batch=args.max_batch,
+        batch_wait_seconds=args.batch_wait,
+        queue_depth=args.queue_depth,
+        checkpoint_path=args.checkpoint,
+        reload_poll_seconds=args.reload_poll if args.checkpoint else None,
+    )
+    return PredictionService.for_dataset(model, dataset, config=config)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8973)
+    parser.add_argument("--checkpoint", default=None,
+                        help="model checkpoint (.npz); watched for hot-reload")
+    parser.add_argument("--city", default="deploy",
+                        choices=("deploy", "tiny", "la", "chicago"),
+                        help="synthetic city whose history warms the store")
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--batch-wait", type=float, default=0.002,
+                        help="micro-batch coalescing window, seconds")
+    parser.add_argument("--queue-depth", type=int, default=256)
+    parser.add_argument("--reload-poll", type=float, default=2.0,
+                        help="checkpoint mtime poll interval, seconds")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.verbose:
+        set_global_level("DEBUG")
+    enable_metrics()
+    service = build_service(args)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    with service:
+        logger.info("serving on http://%s:%d (frontier slot %d)",
+                    host, port, service.store.frontier)
+        print(f"serving on http://{host}:{port}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+
+
+if __name__ == "__main__":
+    main()

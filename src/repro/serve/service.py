@@ -1,0 +1,502 @@
+"""The prediction service: micro-batching, backpressure, hot-reload.
+
+:class:`PredictionService` turns a trained :class:`~repro.core.STGNNDJD`
+plus a :class:`~repro.serve.state.FlowStateStore` into an online
+forecaster. Three serving concerns live here, all dependency-free:
+
+* **Micro-batching** — STGNN-DJD predicts *every* station in one
+  forward pass, so N concurrent requests for the same slot need one
+  model call, not N. Requests enter a bounded queue; a single
+  dispatcher thread drains up to ``max_batch`` of them (waiting at most
+  ``batch_wait_seconds`` for stragglers), runs the forward once, and
+  fans the per-station rows back out. A per-slot forecast cache keyed
+  on ``(frontier, store.version, model_version)`` extends the batching
+  window across dispatches: the cache invalidates itself the moment a
+  rollover or late event changes the input windows, or a reload changes
+  the weights.
+* **Backpressure** — the admission queue is bounded. When it is full
+  the service *rejects* with :class:`ServiceOverloaded` (carrying a
+  ``retry_after`` hint) instead of queueing unboundedly; the HTTP layer
+  maps this to ``503 Retry-After``.
+* **Checkpoint hot-reload** — :meth:`PredictionService.reload` loads a
+  checkpoint via :func:`repro.core.persistence.load_stgnn` (schema
+  version checked, see ``persistence.py``), validates it against the
+  store's dimensions, and swaps the model reference atomically.
+  In-flight batches keep the reference they grabbed, so they finish on
+  the old weights; the next dispatch picks up the new ones. A failed
+  reload (missing file, schema mismatch, wrong dimensions) raises — or
+  is counted and logged by the background watcher — and the old model
+  keeps serving.
+
+The request path never touches global RNG state: the model runs in eval
+mode (dropout is identity) on the forward-only fast path, and all
+scratch memory comes from a service-owned :class:`~repro.backend.BufferPool`.
+``tests/serve/test_rng_isolation.py`` pins this down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro import backend
+from repro.core.model import STGNNDJD
+from repro.core.persistence import load_stgnn
+from repro.data.dataset import BikeShareDataset
+from repro.data.normalize import MinMaxNormalizer
+from repro.obs.registry import default_registry
+from repro.serve.state import FlowStateStore
+from repro.tensor import inference_mode
+from repro.utils import get_logger
+
+logger = get_logger("serve")
+
+
+class ServiceError(RuntimeError):
+    """Base class for serving failures."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The admission queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"admission queue full, retry after {retry_after:.3f}s"
+        )
+        self.retry_after = retry_after
+
+
+class ServiceStopped(ServiceError):
+    """The service stopped before the request completed."""
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Serving knobs.
+
+    ``max_batch``/``batch_wait_seconds`` bound the micro-batch window:
+    the dispatcher never coalesces more requests than ``max_batch`` and
+    never delays the first request of a batch longer than the wait.
+    ``queue_depth`` bounds admission; ``request_timeout_seconds`` bounds
+    how long a caller blocks on its result. ``cache=False`` disables the
+    per-slot forecast cache (used by the benchmark's unbatched
+    baseline). ``checkpoint_path`` + ``reload_poll_seconds`` arm the
+    background checkpoint watcher.
+    """
+
+    max_batch: int = 64
+    batch_wait_seconds: float = 0.002
+    queue_depth: int = 256
+    retry_after_seconds: float = 0.05
+    request_timeout_seconds: float = 30.0
+    cache: bool = True
+    checkpoint_path: str | None = None
+    reload_poll_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.batch_wait_seconds < 0:
+            raise ValueError("batch_wait_seconds must be >= 0")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.reload_poll_seconds is not None and self.reload_poll_seconds <= 0:
+            raise ValueError("reload_poll_seconds must be positive when set")
+        if self.reload_poll_seconds is not None and self.checkpoint_path is None:
+            raise ValueError("reload_poll_seconds requires checkpoint_path")
+
+
+@dataclass(frozen=True, slots=True)
+class Forecast:
+    """One answered prediction request, in denormalised bikes."""
+
+    slot: int
+    stations: np.ndarray  # (s,) station ids the rows refer to
+    demand: np.ndarray  # (s,) or (s, horizon)
+    supply: np.ndarray  # (s,) or (s, horizon)
+    model_version: int
+    cached: bool  # served from the per-slot forecast cache
+
+
+class _Request:
+    """A queued prediction request and its completion rendezvous."""
+
+    __slots__ = ("stations", "done", "forecast", "error")
+
+    def __init__(self, stations: np.ndarray | None) -> None:
+        self.stations = stations
+        self.done = threading.Event()
+        self.forecast: Forecast | None = None
+        self.error: BaseException | None = None
+
+
+class PredictionService:
+    """Online forecaster over a flow-state store and a loaded model."""
+
+    def __init__(
+        self,
+        model: STGNNDJD,
+        store: FlowStateStore,
+        demand_normalizer: MinMaxNormalizer,
+        supply_normalizer: MinMaxNormalizer,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.store = store
+        self._check_compatible(model)
+        model.eval()
+        self._model = model
+        self._model_version = 0
+        self.demand_normalizer = demand_normalizer
+        self.supply_normalizer = supply_normalizer
+        self._queue: queue.Queue[_Request | None] = queue.Queue(
+            maxsize=self.config.queue_depth
+        )
+        self._pool = backend.BufferPool()
+        self._cache: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray]] = {}
+        self._cache_lock = threading.Lock()
+        self._reload_lock = threading.Lock()
+        self._dispatcher: threading.Thread | None = None
+        self._watcher: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._checkpoint_mtime: float | None = None
+        obs = default_registry()
+        self._obs = obs
+        self._requests_counter = obs.counter("serve.requests")
+        self._rejected_counter = obs.counter("serve.rejected")
+        self._batch_size_hist = obs.histogram("serve.batch_size")
+        self._queue_depth_gauge = obs.gauge("serve.queue_depth")
+        self._cache_hits = obs.counter("serve.cache_hits")
+        self._cache_misses = obs.counter("serve.cache_misses")
+        self._reload_counter = obs.counter("serve.reloads")
+        self._reload_errors = obs.counter("serve.reload_errors")
+        self._request_timer = obs.timer("serve.request_seconds")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_dataset(
+        cls,
+        model: STGNNDJD,
+        dataset: BikeShareDataset,
+        config: ServiceConfig | None = None,
+        frontier: int | None = None,
+    ) -> "PredictionService":
+        """Serve ``model`` continuing where a dataset's history ends.
+
+        The store is warm-started from the dataset's flow tensors and
+        the normalizers are the dataset's train-split scalers — the same
+        pair the model was trained against.
+        """
+        store = FlowStateStore.from_dataset(dataset, frontier=frontier)
+        return cls(
+            model,
+            store,
+            dataset.demand_normalizer,
+            dataset.supply_normalizer,
+            config=config,
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str | Path,
+        store: FlowStateStore,
+        demand_normalizer: MinMaxNormalizer,
+        supply_normalizer: MinMaxNormalizer,
+        config: ServiceConfig | None = None,
+    ) -> "PredictionService":
+        """Boot a service from a checkpoint file (schema-checked)."""
+        if config is None:
+            config = ServiceConfig(checkpoint_path=str(path))
+        elif config.checkpoint_path is None:
+            config = dataclasses.replace(config, checkpoint_path=str(path))
+        service = cls(
+            load_stgnn(path), store, demand_normalizer, supply_normalizer, config
+        )
+        service._checkpoint_mtime = _mtime(config.checkpoint_path)
+        return service
+
+    def _check_compatible(self, model: STGNNDJD) -> None:
+        expected = (
+            self.store.config.num_stations,
+            self.store.config.short_window,
+            self.store.config.long_days,
+        )
+        got = (
+            model.config.num_stations,
+            model.config.short_window,
+            model.config.long_days,
+        )
+        if expected != got:
+            raise ServiceError(
+                f"model (stations, k, d)={got} does not match the "
+                f"flow store's {expected}"
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._dispatcher is not None and self._dispatcher.is_alive()
+
+    @property
+    def model_version(self) -> int:
+        return self._model_version
+
+    def start(self) -> "PredictionService":
+        """Spawn the dispatcher (and the checkpoint watcher, if armed)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        if self.config.reload_poll_seconds is not None:
+            if self._checkpoint_mtime is None:
+                self._checkpoint_mtime = _mtime(self.config.checkpoint_path)
+            self._watcher = threading.Thread(
+                target=self._watch_loop, name="serve-reload-watcher", daemon=True
+            )
+            self._watcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the dispatcher; queued requests fail with ServiceStopped."""
+        if not self.running:
+            return
+        self._stop.set()
+        self._queue.put(None)  # wake the dispatcher
+        self._dispatcher.join(timeout=5.0)
+        self._dispatcher = None
+        if self._watcher is not None:
+            self._watcher.join(timeout=5.0)
+            self._watcher = None
+        # Fail anything still queued rather than leaving callers hanging.
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request is not None:
+                request.error = ServiceStopped("service stopped")
+                request.done.set()
+
+    def __enter__(self) -> "PredictionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        stations: "list[int] | np.ndarray | None" = None,
+        timeout: float | None = None,
+    ) -> Forecast:
+        """Forecast demand/supply for the current frontier slot.
+
+        ``stations=None`` returns every station. With the dispatcher
+        running the request is queued and micro-batched; otherwise it is
+        served synchronously on the calling thread — a single-threaded
+        convenience for scripts and tests that never ``start()`` the
+        service (concurrent callers must go through the dispatcher).
+        """
+        start = time.perf_counter()
+        stations_idx = None if stations is None else np.asarray(stations, dtype=int)
+        if stations_idx is not None and stations_idx.size:
+            n = self.store.config.num_stations
+            if stations_idx.min() < 0 or stations_idx.max() >= n:
+                raise ValueError(f"station ids must be in 0..{n - 1}")
+        self._requests_counter.inc()
+        if not self.running:
+            forecast = self._answer(self._model, self._model_version, stations_idx)
+            self._request_timer.observe(time.perf_counter() - start)
+            return forecast
+        request = _Request(stations_idx)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self._rejected_counter.inc()
+            raise ServiceOverloaded(self.config.retry_after_seconds) from None
+        if self._obs.enabled:
+            self._queue_depth_gauge.set(self._queue.qsize())
+        timeout = self.config.request_timeout_seconds if timeout is None else timeout
+        if not request.done.wait(timeout):
+            raise ServiceError(f"request timed out after {timeout}s")
+        if request.error is not None:
+            raise request.error
+        self._request_timer.observe(time.perf_counter() - start)
+        return request.forecast
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if first is None:
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.config.batch_wait_seconds
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - time.monotonic()
+                try:
+                    nxt = (
+                        self._queue.get_nowait()
+                        if remaining <= 0
+                        else self._queue.get(timeout=remaining)
+                    )
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    break
+                batch.append(nxt)
+            self._batch_size_hist.observe(len(batch))
+            if self._obs.enabled:
+                self._queue_depth_gauge.set(self._queue.qsize())
+            # One reference for the whole batch: a concurrent reload
+            # swaps self._model but cannot affect these requests.
+            model, version = self._model, self._model_version
+            try:
+                full = self._full_forecast(model, version)
+            except BaseException as error:  # noqa: BLE001 - forwarded to callers
+                for request in batch:
+                    request.error = error
+                    request.done.set()
+                continue
+            for request in batch:
+                request.forecast = self._subset(full, request.stations)
+                request.done.set()
+
+    def _answer(
+        self, model: STGNNDJD, version: int, stations: np.ndarray | None
+    ) -> Forecast:
+        return self._subset(self._full_forecast(model, version), stations)
+
+    def _full_forecast(self, model: STGNNDJD, version: int) -> Forecast:
+        """All-station forecast for the frontier slot, cache-aware."""
+        store = self.store
+        key = (store.frontier, store.version, version)
+        if self.config.cache:
+            with self._cache_lock:
+                hit = self._cache.get(key)
+            if hit is not None:
+                self._cache_hits.inc()
+                demand, supply = hit
+                return Forecast(
+                    slot=key[0],
+                    stations=np.arange(store.config.num_stations),
+                    demand=demand,
+                    supply=supply,
+                    model_version=version,
+                    cached=True,
+                )
+            self._cache_misses.inc()
+        if model.training:
+            # Other code sharing the model object (e.g. a Trainer whose
+            # predict() flips back to train mode) must not re-arm
+            # dropout on the serving path.
+            model.eval()
+        sample = store.sample()
+        with inference_mode(), backend.buffer_scope(self._pool):
+            demand_pred, supply_pred = model(sample)
+            demand = self.demand_normalizer.inverse_transform(demand_pred.data)
+            supply = self.supply_normalizer.inverse_transform(supply_pred.data)
+        demand.setflags(write=False)
+        supply.setflags(write=False)
+        if self.config.cache:
+            with self._cache_lock:
+                self._cache[key] = (demand, supply)
+                while len(self._cache) > 8:  # keep only the freshest slots
+                    self._cache.pop(next(iter(self._cache)))
+        return Forecast(
+            slot=sample.t,
+            stations=np.arange(store.config.num_stations),
+            demand=demand,
+            supply=supply,
+            model_version=version,
+            cached=False,
+        )
+
+    @staticmethod
+    def _subset(full: Forecast, stations: np.ndarray | None) -> Forecast:
+        if stations is None:
+            return full
+        return Forecast(
+            slot=full.slot,
+            stations=stations,
+            demand=full.demand[stations],
+            supply=full.supply[stations],
+            model_version=full.model_version,
+            cached=full.cached,
+        )
+
+    # ------------------------------------------------------------------
+    # Hot reload
+    # ------------------------------------------------------------------
+    def reload(self, path: str | Path | None = None) -> int:
+        """Atomically swap in a checkpoint; returns the new model version.
+
+        Fails loudly — a checkpoint that does not load, carries the
+        wrong schema version, or does not match the store's dimensions
+        raises and leaves the current model serving.
+        """
+        path = path or self.config.checkpoint_path
+        if path is None:
+            raise ServiceError("no checkpoint path configured for reload")
+        with self._reload_lock:
+            try:
+                model = load_stgnn(path)
+                self._check_compatible(model)
+            except BaseException:
+                self._reload_errors.inc()
+                raise
+            model.eval()
+            self._model = model
+            self._model_version += 1
+            self._checkpoint_mtime = _mtime(path)
+            self._reload_counter.inc()
+            logger.info(
+                "hot-reloaded checkpoint %s (model version %d)",
+                path, self._model_version,
+            )
+            return self._model_version
+
+    def _watch_loop(self) -> None:
+        path = self.config.checkpoint_path
+        while not self._stop.wait(self.config.reload_poll_seconds):
+            mtime = _mtime(path)
+            if mtime is None or mtime == self._checkpoint_mtime:
+                continue
+            try:
+                self.reload(path)
+            except BaseException as error:  # noqa: BLE001 - keep serving
+                # reload() already counted the failure; remember the
+                # mtime so a broken file is not retried every poll.
+                self._checkpoint_mtime = mtime
+                logger.error("checkpoint reload failed: %s", error)
+
+
+def _mtime(path: str | Path | None) -> float | None:
+    if path is None:
+        return None
+    try:
+        return os.stat(path).st_mtime
+    except OSError:
+        return None

@@ -4,7 +4,10 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    SCHEMA_VERSION,
     STGNNDJD,
+    CheckpointSchemaError,
+    checkpoint_schema_version,
     load_config,
     load_state,
     load_stgnn,
@@ -62,3 +65,54 @@ class TestCheckpoint:
         model.predictor.weight.data[:] = 123.0
         restored = load_stgnn(path)
         np.testing.assert_allclose(restored.predictor.weight.data, before)
+
+
+class TestSchemaVersion:
+    def _legacy_checkpoint(self, model, path):
+        """Re-save a checkpoint without the schema field (pre-version files)."""
+        with np.load(path) as bundle:
+            arrays = {
+                name: bundle[name]
+                for name in bundle.files
+                if name != "__schema_version__"
+            }
+        np.savez(path, **arrays)
+
+    def test_new_checkpoints_carry_current_version(self, tiny_dataset, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(STGNNDJD.from_dataset(tiny_dataset, seed=0), path)
+        assert checkpoint_schema_version(path) == SCHEMA_VERSION
+
+    def test_schema_key_not_leaked_into_state(self, tiny_dataset, tmp_path):
+        path = tmp_path / "model.npz"
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0)
+        save_checkpoint(model, path)
+        assert set(load_state(path)) == set(model.state_dict())
+
+    def test_legacy_versionless_checkpoint_still_loads(
+        self, tiny_dataset, tmp_path
+    ):
+        path = tmp_path / "model.npz"
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=0)
+        save_checkpoint(model, path)
+        self._legacy_checkpoint(model, path)
+        assert checkpoint_schema_version(path) is None
+        restored = load_stgnn(path)
+        np.testing.assert_allclose(
+            restored.predictor.weight.data, model.predictor.weight.data
+        )
+
+    def test_version_mismatch_fails_loudly(self, tiny_dataset, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(STGNNDJD.from_dataset(tiny_dataset, seed=0), path)
+        with np.load(path) as bundle:
+            arrays = {name: bundle[name] for name in bundle.files}
+        arrays["__schema_version__"] = np.asarray(SCHEMA_VERSION + 7,
+                                                  dtype=np.int64)
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointSchemaError, match="schema version"):
+            load_stgnn(path)
+        with pytest.raises(CheckpointSchemaError):
+            load_state(path)
+        with pytest.raises(CheckpointSchemaError):
+            load_config(path)

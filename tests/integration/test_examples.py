@@ -53,6 +53,9 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "mean latency" in result.stdout
         assert (tmp_path / "m.npz").exists()
+        assert "booting PredictionService" in result.stdout
+        assert "cached=True" in result.stdout
+        assert "service stopped cleanly" in result.stdout
 
     def test_custom_data_pipeline(self, tmp_path):
         result = run_example("custom_data_pipeline.py", "--epochs", "2",

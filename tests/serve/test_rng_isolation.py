@@ -1,0 +1,79 @@
+"""Regression: the serving request path never touches global RNG state.
+
+A prediction server handles requests concurrently with anything else the
+process does (e.g. a notebook exploring data with ``np.random``); if the
+request path consumed or reseeded the global stream, serving would make
+unrelated code non-reproducible. The request path must also be
+deterministic in itself: identical flow state + identical weights =>
+identical forecasts, with no hidden stochastic dependence (dropout must
+stay disabled in eval mode).
+"""
+
+import numpy as np
+
+from repro.core import STGNNDJD
+from repro.serve import PredictionService
+
+
+def _fingerprint():
+    """A comparable snapshot of numpy's *global* legacy RNG state."""
+    kind, keys, pos, has_gauss, cached = np.random.get_state()
+    return kind, tuple(keys), pos, has_gauss, cached
+
+
+def _exercise(service, dataset):
+    slot_seconds = dataset.config.slot_seconds
+    service.predict()
+    now = service.store.frontier * slot_seconds + 1.0
+    service.store.ingest_event(0, 1, start_time=now, end_time=now + 300.0)
+    service.store.advance_to(service.store.frontier + 1)
+    service.predict(stations=[0, 2])
+    return service.predict()
+
+
+class TestRngIsolation:
+    def test_request_path_leaves_global_rng_untouched(self, tiny_dataset):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=5)
+        service = PredictionService.for_dataset(model, tiny_dataset)
+        np.random.seed(1234)  # pin a recognisable global state
+        before = _fingerprint()
+        _exercise(service, tiny_dataset)
+        assert _fingerprint() == before
+
+    def test_request_path_leaves_global_rng_untouched_with_dispatcher(
+        self, tiny_dataset
+    ):
+        model = STGNNDJD.from_dataset(tiny_dataset, seed=5)
+        service = PredictionService.for_dataset(model, tiny_dataset)
+        np.random.seed(1234)
+        before = _fingerprint()
+        with service:
+            service.predict()
+            service.predict(stations=[1])
+        assert _fingerprint() == before
+
+    def test_forecasts_are_deterministic_across_service_instances(
+        self, tiny_dataset
+    ):
+        # Dropout > 0 in the config; eval mode must make it inert on the
+        # request path, so two services with the same weights agree bit
+        # for bit even after identical ingest streams.
+        first = PredictionService.for_dataset(
+            STGNNDJD.from_dataset(tiny_dataset, seed=5), tiny_dataset
+        )
+        second = PredictionService.for_dataset(
+            STGNNDJD.from_dataset(tiny_dataset, seed=5), tiny_dataset
+        )
+        a = _exercise(first, tiny_dataset)
+        b = _exercise(second, tiny_dataset)
+        np.testing.assert_array_equal(a.demand, b.demand)
+        np.testing.assert_array_equal(a.supply, b.supply)
+
+    def test_repeated_predicts_identical_without_ingest(self, tiny_dataset):
+        service = PredictionService.for_dataset(
+            STGNNDJD.from_dataset(tiny_dataset, seed=5), tiny_dataset
+        )
+        first = service.predict()
+        second = service.predict()
+        np.testing.assert_array_equal(first.demand, second.demand)
+        assert second.cached

@@ -1,0 +1,141 @@
+"""Incremental-vs-batch parity: the store's exact-equivalence guarantee.
+
+Property test over randomized event streams — including out-of-order
+delivery within the retained horizon, trips still in transit at the
+window edge, dirty negative-duration records, and slot-boundary
+rollover — asserting that :class:`FlowStateStore`'s retained slots are
+**bitwise** equal to :func:`build_flow_tensors` over the same history.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.flows import build_flow_tensors
+from repro.data.records import TripRecord
+from repro.serve import FlowStateConfig, FlowStateStore
+
+SLOT = 1800.0  # 30-minute slots keep slots_per_day (48) honest but small
+
+
+@st.composite
+def event_streams(draw):
+    """A trip log plus a bounded-lateness delivery order."""
+    num_stations = draw(st.integers(min_value=2, max_value=5))
+    num_slots = draw(st.integers(min_value=8, max_value=120))
+    num_trips = draw(st.integers(min_value=0, max_value=120))
+    trips = []
+    for trip_id in range(num_trips):
+        origin = draw(st.integers(0, num_stations - 1))
+        destination = draw(st.integers(0, num_stations - 1))
+        start_slot = draw(st.integers(0, num_slots - 1))
+        # Cap the offset below SLOT with margin: a float a hair under
+        # SLOT can round start_slot*SLOT + offset up into the next slot.
+        offset = draw(st.floats(min_value=0.0, max_value=SLOT - 1.0))
+        start = start_slot * SLOT + offset
+        # Durations from dirty-negative through in-transit-past-the-end.
+        duration = draw(st.floats(min_value=-2 * SLOT, max_value=6 * SLOT))
+        trips.append(TripRecord(trip_id, origin, destination, start,
+                                float(start + duration)))
+    # Deliver roughly in event-time order with local shuffling: sort by
+    # start, then swap adjacent trips whose slot gap stays well inside
+    # the retained horizon (>= 48 slots for 30-minute slots) — out of
+    # order, but never late enough to trigger the drop policy.
+    trips.sort(key=lambda t: t.start_time)
+    for i in range(len(trips) - 1):
+        gap = trips[i + 1].start_slot(SLOT) - trips[i].start_slot(SLOT)
+        if gap <= 40 and draw(st.booleans()):
+            trips[i], trips[i + 1] = trips[i + 1], trips[i]
+    short_window = draw(st.integers(min_value=1, max_value=12))
+    long_days = draw(st.integers(min_value=1, max_value=2))
+    return num_stations, num_slots, trips, short_window, long_days
+
+
+@given(event_streams())
+@settings(max_examples=60, deadline=None)
+def test_incremental_matches_batch_bitwise(stream):
+    num_stations, num_slots, trips, short_window, long_days = stream
+    batch_inflow, batch_outflow = build_flow_tensors(
+        trips, num_stations, num_slots, SLOT
+    )
+    config = FlowStateConfig(
+        num_stations=num_stations,
+        slot_seconds=SLOT,
+        short_window=short_window,
+        long_days=long_days,
+    )
+    store = FlowStateStore(config)
+    for trip in trips:
+        assert store.ingest(trip)
+    store.advance_to(num_slots)
+
+    first, inflow, outflow = store.retained_tensors()
+    finalized = num_slots - first  # the frontier row is the open slot
+    assert np.array_equal(inflow[:finalized], batch_inflow[first:num_slots])
+    assert np.array_equal(outflow[:finalized], batch_outflow[first:num_slots])
+
+
+@given(event_streams())
+@settings(max_examples=30, deadline=None)
+def test_sample_windows_match_batch_dataset_windows(stream):
+    """End-to-end: the FlowSample the store serves equals batch slicing."""
+    num_stations, num_slots, trips, short_window, long_days = stream
+    config = FlowStateConfig(
+        num_stations=num_stations,
+        slot_seconds=SLOT,
+        short_window=short_window,
+        long_days=long_days,
+    )
+    if num_slots < config.horizon:
+        return  # not enough history for a full window; nothing to check
+    batch_inflow, batch_outflow = build_flow_tensors(
+        trips, num_stations, num_slots, SLOT
+    )
+    store = FlowStateStore(config)
+    for trip in trips:
+        store.ingest(trip)
+    store.advance_to(num_slots)
+
+    sample = store.sample()
+    t, k, spd = num_slots, short_window, config.slots_per_day
+    np.testing.assert_array_equal(sample.short_inflow, batch_inflow[t - k : t])
+    np.testing.assert_array_equal(sample.short_outflow, batch_outflow[t - k : t])
+    long_slots = np.arange(t - long_days * spd, t, spd)
+    np.testing.assert_array_equal(sample.long_inflow, batch_inflow[long_slots])
+    np.testing.assert_array_equal(sample.long_outflow, batch_outflow[long_slots])
+
+
+def test_interleaved_ingest_and_rollover_matches_batch():
+    """Slot-by-slot live operation: ingest, advance, repeat — vs batch."""
+    rng = np.random.default_rng(7)
+    num_stations, num_slots = 4, 72
+    trips = []
+    for trip_id in range(300):
+        start = rng.uniform(0, num_slots * SLOT)
+        trips.append(TripRecord(
+            trip_id,
+            int(rng.integers(num_stations)),
+            int(rng.integers(num_stations)),
+            float(start),
+            float(start + rng.uniform(60.0, 4 * SLOT)),
+        ))
+    trips.sort(key=lambda t: t.start_time)
+
+    config = FlowStateConfig(
+        num_stations=num_stations, slot_seconds=SLOT,
+        short_window=8, long_days=1,
+    )
+    store = FlowStateStore(config)
+    queue = list(trips)
+    for slot in range(num_slots + 1):
+        store.advance_to(slot)  # the clock ticks even with no events
+        while queue and queue[0].start_slot(SLOT) <= slot:
+            assert store.ingest(queue.pop(0))
+
+    batch_inflow, batch_outflow = build_flow_tensors(
+        trips, num_stations, num_slots, SLOT
+    )
+    first, inflow, outflow = store.retained_tensors()
+    finalized = num_slots - first
+    assert np.array_equal(inflow[:finalized], batch_inflow[first:num_slots])
+    assert np.array_equal(outflow[:finalized], batch_outflow[first:num_slots])
