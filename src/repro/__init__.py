@@ -17,7 +17,7 @@ Quickstart::
     Trainer(model, dataset).fit(epochs=5)
 """
 
-from repro import backend, obs
+from repro import backend, faults, obs
 from repro.obs import ObservabilityConfig
 from repro.tensor import Tensor, inference_mode, no_grad
 from repro.data import (
@@ -40,6 +40,7 @@ __all__ = [
     "no_grad",
     "inference_mode",
     "backend",
+    "faults",
     "obs",
     "ObservabilityConfig",
     "TripRecord",

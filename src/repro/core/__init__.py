@@ -11,12 +11,19 @@ from repro.core.model import STGNNDJD, STGNNDJDConfig
 from repro.core.trainer import Trainer, TrainingConfig, TrainingHistory
 from repro.core.persistence import (
     SCHEMA_VERSION,
+    SNAPSHOT_VERSION,
+    CheckpointCorruptError,
+    CheckpointError,
     CheckpointSchemaError,
+    TrainingSnapshot,
     checkpoint_schema_version,
     load_config,
     load_state,
     load_stgnn,
+    load_training_snapshot,
     save_checkpoint,
+    save_training_snapshot,
+    training_fingerprint,
 )
 from repro.core.tuning import (
     CandidateResult,
@@ -42,8 +49,15 @@ __all__ = [
     "load_config",
     "load_stgnn",
     "SCHEMA_VERSION",
+    "SNAPSHOT_VERSION",
+    "CheckpointError",
     "CheckpointSchemaError",
+    "CheckpointCorruptError",
     "checkpoint_schema_version",
+    "TrainingSnapshot",
+    "save_training_snapshot",
+    "load_training_snapshot",
+    "training_fingerprint",
     "select_config",
     "expand_grid",
     "SearchResult",

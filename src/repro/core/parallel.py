@@ -34,6 +34,21 @@ parity tests assert. Models that draw training-time randomness
 count, but are not sample-for-sample identical to serial runs: each
 forked worker advances its own copy of the model's RNG.
 
+Resilience
+----------
+A worker that **dies mid-batch** (its pipe hits EOF), **hangs** past
+``reply_timeout``, replies with a **poisoned result** (non-finite loss
+or gradients), or raises, does not take training down. The parent
+recomputes the lost shard *itself*, reproducing the worker's exact
+arithmetic — gradients summed into fresh buffers, then folded in at the
+dead worker's reduction slot — so the recovered batch is **bitwise
+identical** to the batch an uninjured pool would have produced (for
+deterministic models). Dead or hung workers are respawned; if the
+respawn itself fails, the pool marks itself inactive and the trainer
+falls back to the serial loop for the rest of the run. The chaos suite
+(``tests/faults/test_parallel_chaos.py``) drives every one of these
+paths with injected faults and asserts the parity.
+
 Fork is required (copy-on-write sharing of the model, dataset and
 windows); on platforms without it :meth:`GradientWorkerPool.create`
 returns ``None`` and the trainer falls back to the serial loop.
@@ -47,6 +62,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.faults import fault_point, fault_transform
 from repro.obs import emit_event
 from repro.obs.registry import default_registry
 from repro.utils import get_logger
@@ -65,7 +81,7 @@ def fork_available() -> bool:
     return "fork" in mp.get_all_start_methods()
 
 
-def _worker_main(conn, trainer: "Trainer", params: list) -> None:
+def _worker_main(conn, trainer: "Trainer", params: list, index: int) -> None:
     """Worker loop: receive (params, shard, scale) tasks until ``None``.
 
     Runs in the forked child. ``trainer`` and ``params`` are inherited
@@ -77,7 +93,15 @@ def _worker_main(conn, trainer: "Trainer", params: list) -> None:
     counted, then each reply carries the registry delta accumulated
     while processing the shard. The parent folds deltas in during the
     reduce, making worker-merged counters equal their serial values.
+
+    Fault seams (armed plans are inherited through the fork, each worker
+    counts its own hits): ``parallel.worker{index}.task`` per task,
+    ``parallel.worker{index}.sample`` per sample, and the
+    ``parallel.worker{index}.reply`` transform over the reply payload.
     """
+    task_site = f"parallel.worker{index}.task"
+    sample_site = f"parallel.worker{index}.sample"
+    reply_site = f"parallel.worker{index}.reply"
     registry = default_registry()
     registry.reset()
     try:
@@ -87,6 +111,7 @@ def _worker_main(conn, trainer: "Trainer", params: list) -> None:
                 return
             datas, shard, scale = task
             try:
+                fault_point(task_site)
                 busy_start = time.perf_counter()
                 for param, data in zip(params, datas):
                     param.data = data
@@ -94,6 +119,7 @@ def _worker_main(conn, trainer: "Trainer", params: list) -> None:
                 upstream = np.asarray(scale)
                 loss_sum = 0.0
                 for t in shard:
+                    fault_point(sample_site)
                     loss = trainer._sample_loss(int(t))
                     loss.backward(upstream)
                     loss_sum += loss.item()
@@ -104,7 +130,10 @@ def _worker_main(conn, trainer: "Trainer", params: list) -> None:
                     )
                     registry.counter("parallel.worker_tasks").inc()
                     delta = registry.drain()
-                conn.send((_OK, (loss_sum, [p.grad for p in params], delta)))
+                payload = fault_transform(
+                    reply_site, (loss_sum, [p.grad for p in params], delta)
+                )
+                conn.send((_OK, payload))
             except Exception as exc:  # surface worker errors in the parent
                 conn.send((_ERROR, f"{type(exc).__name__}: {exc}"))
     except (EOFError, KeyboardInterrupt, BrokenPipeError):
@@ -116,37 +145,56 @@ def _worker_main(conn, trainer: "Trainer", params: list) -> None:
 class GradientWorkerPool:
     """Persistent fork-based pool of per-sample gradient workers."""
 
-    def __init__(self, trainer: "Trainer", num_workers: int) -> None:
+    def __init__(
+        self,
+        trainer: "Trainer",
+        num_workers: int,
+        reply_timeout: float | None = None,
+    ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if reply_timeout is not None and reply_timeout <= 0:
+            raise ValueError(f"reply_timeout must be positive, got {reply_timeout}")
         if not fork_available():
             raise RuntimeError("fork start method is not available on this platform")
+        self._trainer = trainer
         self._params = list(trainer.optimizer.parameters)
         self.num_workers = num_workers
+        self.reply_timeout = reply_timeout
         self._closed = False
+        self._degraded = False
 
         # Touch lazily-built dataset state *before* forking so workers
         # share it copy-on-write instead of each rebuilding it.
         trainer.dataset.demand_normalizer
         trainer.dataset.supply_normalizer
 
-        ctx = mp.get_context("fork")
-        self._conns = []
-        self._procs = []
-        for _ in range(num_workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, trainer, self._params),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+        self._ctx = mp.get_context("fork")
+        self._conns: list = [None] * num_workers
+        self._procs: list = [None] * num_workers
+        for index in range(num_workers):
+            self._spawn_worker(index)
+
+    def _spawn_worker(self, index: int) -> None:
+        """(Re)fork worker ``index``; replaces any previous pipe/process."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._trainer, self._params, index),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[index] = parent_conn
+        self._procs[index] = proc
 
     @classmethod
-    def create(cls, trainer: "Trainer", num_workers: int) -> "GradientWorkerPool | None":
+    def create(
+        cls,
+        trainer: "Trainer",
+        num_workers: int,
+        reply_timeout: float | None = None,
+    ) -> "GradientWorkerPool | None":
         """Build a pool, or return ``None`` (serial fallback) if unsupported."""
         if num_workers < 1:
             return None
@@ -159,7 +207,7 @@ class GradientWorkerPool:
             cls._record_fallback("fork_unavailable", num_workers)
             return None
         try:
-            return cls(trainer, num_workers)
+            return cls(trainer, num_workers, reply_timeout=reply_timeout)
         except OSError as exc:  # fork/pipe failure (resource limits)
             logger.warning("worker pool creation failed (%s); training serially", exc)
             cls._record_fallback(f"pool_creation_failed: {exc}", num_workers)
@@ -175,6 +223,11 @@ class GradientWorkerPool:
     # ------------------------------------------------------------------
     # Batch execution
     # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether the pool can take another batch (open and not degraded)."""
+        return not self._closed and not self._degraded
+
     def accumulate_gradients(self, batch: Sequence[int], scale: float) -> float:
         """Compute and reduce gradients for ``batch``; return the loss sum.
 
@@ -182,20 +235,38 @@ class GradientWorkerPool:
         ``1/len(batch)``, matching the serial loop's gradient averaging).
         Gradients are accumulated into the parameters' ``.grad`` buffers
         in worker index order — the caller must have zeroed them.
+
+        Worker failures (death, hang, poisoned or errored replies) are
+        recovered in-line: the lost shard is recomputed in the parent at
+        the failed worker's reduction slot, so the batch result is the
+        same as an uninjured pool's (see the module docstring).
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
         shards = np.array_split(np.asarray(batch), self.num_workers)
         datas = [param.data for param in self._params]
-        for conn, shard in zip(self._conns, shards):
-            conn.send((datas, shard, scale))
+        failed_send: set[int] = set()
+        for index, (conn, shard) in enumerate(zip(self._conns, shards)):
+            if conn is None:  # lost in a previous batch, respawn failed
+                failed_send.add(index)
+                continue
+            try:
+                conn.send((datas, shard, scale))
+            except (BrokenPipeError, OSError):
+                failed_send.add(index)
         registry = default_registry()
         reduce_start = time.perf_counter()
         total = 0.0
-        for conn in self._conns:
-            status, payload = conn.recv()
-            if status != _OK:
-                raise RuntimeError(f"gradient worker failed: {payload}")
+        for index, shard in enumerate(shards):
+            if index in failed_send:
+                if self._conns[index] is not None:
+                    self._worker_failed(index, "pipe closed at send", respawn=True)
+                payload = None
+            else:
+                payload = self._receive(index)
+            if payload is None:
+                total += self._recover_shard(shard, scale)
+                continue
             loss_sum, grads, metrics_delta = payload
             total += loss_sum
             for param, grad in zip(self._params, grads):
@@ -211,6 +282,114 @@ class GradientWorkerPool:
         return total
 
     # ------------------------------------------------------------------
+    # Failure classification + recovery
+    # ------------------------------------------------------------------
+    def _receive(self, index: int):
+        """Worker ``index``'s reply payload, or ``None`` after a failure.
+
+        Classifies the four injected-failure modes: a hung worker (no
+        reply within ``reply_timeout``), a dead worker (EOF/reset on the
+        pipe), a worker-side exception (clean ``_ERROR`` reply), and a
+        poisoned result (non-finite loss or gradients). Hung and dead
+        workers are respawned; erroring and poisoning workers stay — the
+        pipe is still in sync and the next batch may well succeed.
+        """
+        conn = self._conns[index]
+        try:
+            if self.reply_timeout is not None and not conn.poll(self.reply_timeout):
+                self._worker_failed(
+                    index, f"no reply within {self.reply_timeout}s", respawn=True
+                )
+                return None
+            status, payload = conn.recv()
+        except (EOFError, ConnectionResetError, OSError) as exc:
+            self._worker_failed(
+                index, f"died mid-batch ({exc or 'EOF'})", respawn=True
+            )
+            return None
+        if status != _OK:
+            self._worker_failed(index, f"raised: {payload}", respawn=False)
+            return None
+        loss_sum, grads, _ = payload
+        if not np.isfinite(loss_sum) or any(
+            grad is not None and not np.isfinite(grad).all() for grad in grads
+        ):
+            self._worker_failed(
+                index, "poisoned result (non-finite loss or gradients)",
+                respawn=False,
+            )
+            return None
+        return payload
+
+    def _worker_failed(self, index: int, reason: str, respawn: bool) -> None:
+        """Log/count a worker failure; respawn or degrade to serial."""
+        logger.warning(
+            "gradient worker %d failed (%s); recovering its shard serially",
+            index, reason,
+        )
+        default_registry().counter("parallel.worker_failures").inc()
+        emit_event("event", "parallel.worker_failure",
+                   worker=index, reason=reason)
+        if not respawn:
+            return
+        proc, conn = self._procs[index], self._conns[index]
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+        if conn is not None:
+            conn.close()
+        try:
+            self._spawn_worker(index)
+            default_registry().counter("parallel.worker_respawns").inc()
+        except OSError as exc:
+            # Cannot rebuild the pool: finish this batch via recovery,
+            # then hand the rest of the run to the serial loop.
+            self._conns[index] = None
+            self._procs[index] = None
+            self._degraded = True
+            logger.warning(
+                "worker %d respawn failed (%s); pool degraded, "
+                "falling back to serial training", index, exc,
+            )
+            self._record_fallback(f"respawn_failed: {exc}", self.num_workers)
+
+    def _recover_shard(self, shard: np.ndarray, scale: float) -> float:
+        """Recompute a lost shard in the parent, worker-bitwise.
+
+        Reproduces the worker protocol exactly: gradients accumulate
+        into fresh per-shard buffers (not the live ``.grad`` running
+        sums), then fold in at this worker's slot in the reduction
+        order. Same arithmetic, same association order — the recovered
+        batch matches an uninjured pool's bit for bit.
+        """
+        params = self._params
+        saved = [param.grad for param in params]
+        saved_buffers = [param._grad_buffer for param in params]
+        for param in params:
+            # Detach the persistent grad buffer too: ``.grad`` IS that
+            # buffer after a normal accumulation, and the shard backward
+            # below would otherwise write straight over the stashed sums.
+            param.grad = None
+            param._grad_buffer = None
+        upstream = np.asarray(scale)
+        loss_sum = 0.0
+        try:
+            for t in shard:
+                loss = self._trainer._sample_loss(int(t))
+                loss.backward(upstream)
+                loss_sum += loss.item()
+            shard_grads = [param.grad for param in params]
+        finally:
+            for param, grad, buffer in zip(params, saved, saved_buffers):
+                param.grad = grad
+                param._grad_buffer = buffer
+        for param, grad in zip(params, shard_grads):
+            if grad is not None:
+                param._accumulate(grad)
+        default_registry().counter("parallel.shards_recovered").inc()
+        return loss_sum
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -219,18 +398,22 @@ class GradientWorkerPool:
             return
         self._closed = True
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=5.0)
+            if proc is not None:
+                proc.join(timeout=5.0)
         for proc in self._procs:
-            if proc.is_alive():  # pragma: no cover - hung worker safety net
+            if proc is not None and proc.is_alive():  # pragma: no cover - hung worker safety net
                 proc.terminate()
                 proc.join(timeout=1.0)
         for conn in self._conns:
-            conn.close()
+            if conn is not None:
+                conn.close()
 
     def __enter__(self) -> "GradientWorkerPool":
         return self
@@ -245,5 +428,5 @@ class GradientWorkerPool:
             pass
 
     def __repr__(self) -> str:
-        state = "closed" if self._closed else "open"
+        state = "closed" if self._closed else ("degraded" if self._degraded else "open")
         return f"GradientWorkerPool(workers={self.num_workers}, {state})"

@@ -23,6 +23,7 @@ keeps the seed's serial loop.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -31,7 +32,15 @@ import numpy as np
 from repro import backend
 from repro.core.model import STGNNDJD
 from repro.core.parallel import GradientWorkerPool
+from repro.core.persistence import (
+    CheckpointSchemaError,
+    TrainingSnapshot,
+    load_training_snapshot,
+    save_training_snapshot,
+    training_fingerprint,
+)
 from repro.data.dataset import BikeShareDataset
+from repro.faults import fault_point
 from repro.nn import joint_demand_supply_loss, mse_loss
 from repro.obs import ObservabilityConfig, RunRecorder, span
 from repro.obs.registry import default_registry
@@ -65,6 +74,17 @@ class TrainingConfig:
     # ObservabilityConfig makes fit() record a JSONL event stream and a
     # RunReport under its out_dir (see repro.obs).
     metrics: ObservabilityConfig | None = None
+    # Crash resilience. snapshot_path arms epoch-boundary training
+    # snapshots (atomic writes): an interrupted fit() rerun with the
+    # same config auto-resumes from the last completed epoch and — for
+    # deterministic models (dropout == 0) — bitwise-continues the
+    # uninterrupted run. resume=False ignores an existing snapshot and
+    # retrains from scratch. worker_reply_timeout_seconds bounds how
+    # long the parent waits for a gradient worker before declaring it
+    # hung and recovering its shard (None = wait forever).
+    snapshot_path: str | None = None
+    resume: bool = True
+    worker_reply_timeout_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -77,6 +97,9 @@ class TrainingConfig:
             raise ValueError(f"loss must be 'joint' or 'independent', got {self.loss!r}")
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if (self.worker_reply_timeout_seconds is not None
+                and self.worker_reply_timeout_seconds <= 0):
+            raise ValueError("worker_reply_timeout_seconds must be positive")
 
 
 @dataclass(slots=True)
@@ -190,6 +213,12 @@ class Trainer:
         history = TrainingHistory()
         best_val = float("inf")
         bad_epochs = 0
+        start_epoch = 0
+        if (self.config.snapshot_path is not None and self.config.resume
+                and os.path.exists(self.config.snapshot_path)):
+            start_epoch, best_val, bad_epochs = self._restore_snapshot(
+                self.config.snapshot_path, history
+            )
 
         # The recorder enables the metrics registry *before* the worker
         # pool forks, so workers inherit the enabled flag copy-on-write
@@ -200,9 +229,18 @@ class Trainer:
             run_config["model"] = type(self.model).__name__
             recorder = RunRecorder(self.config.metrics, run_config=run_config)
 
-        pool = GradientWorkerPool.create(self, self.config.workers)
+        pool = GradientWorkerPool.create(
+            self, self.config.workers,
+            reply_timeout=self.config.worker_reply_timeout_seconds,
+        )
         try:
-            for epoch in range(epochs):
+            for epoch in range(start_epoch, epochs):
+                fault_point("trainer.epoch")
+                if pool is not None and not pool.active:
+                    # The pool degraded mid-run (a worker died and could
+                    # not be respawned); finish the fit serially.
+                    pool.close()
+                    pool = None
                 with span("epoch", epoch=epoch):
                     epoch_loss = self._run_epoch(train_idx, pool)
                     val_loss = self.validation_loss(val_idx)
@@ -233,6 +271,11 @@ class Trainer:
                     if bad_epochs >= self.config.patience:
                         history.stopped_early = True
                         break
+                if self.config.snapshot_path is not None:
+                    self._save_snapshot(
+                        self.config.snapshot_path, epoch, history,
+                        best_val, bad_epochs,
+                    )
         finally:
             if pool is not None:
                 pool.close()
@@ -266,7 +309,10 @@ class Trainer:
         total, count = 0.0, 0
         norm_sum, samples = 0.0, 0
         for batch in batches:
+            fault_point("trainer.batch")
             self.optimizer.zero_grad()
+            if pool is not None and not pool.active:
+                pool = None  # degraded mid-epoch: finish serially
             if pool is not None:
                 batch_loss = pool.accumulate_gradients(batch, 1.0 / len(batch))
             else:
@@ -289,6 +335,77 @@ class Trainer:
             "grad_norm": norm_sum / count if count else float("nan"),
         }
         return total / count if count else float("nan")
+
+    # ------------------------------------------------------------------
+    # Crash resilience: epoch-boundary snapshots + bitwise resume
+    # ------------------------------------------------------------------
+    def _save_snapshot(
+        self,
+        path: str,
+        epoch: int,
+        history: TrainingHistory,
+        best_val: float,
+        bad_epochs: int,
+    ) -> None:
+        """Persist the fit loop's full state after a completed epoch.
+
+        Captures everything the loop reads going forward — parameters,
+        Adam moments and step count, the shuffling RNG, per-epoch
+        history, and the early-stopping bookkeeping — so a resumed run
+        re-enters at ``epoch + 1`` indistinguishable from one that never
+        stopped. The write is atomic (tmp + rename), so a crash *during*
+        snapshotting leaves the previous snapshot intact.
+        """
+        adam = self.optimizer
+        snapshot = TrainingSnapshot(
+            epoch=epoch,
+            model_state=self.model.state_dict(),
+            adam_step_count=adam._step_count,
+            adam_m={f"{i:04d}": m for i, m in enumerate(adam._m)},
+            adam_v={f"{i:04d}": v for i, v in enumerate(adam._v)},
+            rng_state=self._rng.bit_generator.state,
+            train_loss=list(history.train_loss),
+            val_loss=list(history.val_loss),
+            best_epoch=history.best_epoch,
+            best_val=best_val,
+            bad_epochs=bad_epochs,
+            best_state=self._best_state,
+            fingerprint=training_fingerprint(self.model),
+        )
+        save_training_snapshot(path, snapshot)
+
+    def _restore_snapshot(
+        self, path: str, history: TrainingHistory
+    ) -> tuple[int, float, int]:
+        """Load a snapshot into the live trainer; returns
+        ``(start_epoch, best_val, bad_epochs)`` for the fit loop."""
+        snapshot = load_training_snapshot(path)
+        expected = training_fingerprint(self.model)
+        if snapshot.fingerprint != expected:
+            raise CheckpointSchemaError(
+                f"training snapshot {path} was written for "
+                f"{snapshot.fingerprint!r}, not {expected!r}; refusing to resume"
+            )
+        self.model.load_state_dict(snapshot.model_state)
+        adam = self.optimizer
+        if len(snapshot.adam_m) != len(adam.parameters):
+            raise CheckpointSchemaError(
+                f"training snapshot {path} carries {len(snapshot.adam_m)} "
+                f"optimizer moments for {len(adam.parameters)} parameters"
+            )
+        adam._step_count = snapshot.adam_step_count
+        for i in range(len(adam.parameters)):
+            adam._m[i][...] = snapshot.adam_m[f"{i:04d}"]
+            adam._v[i][...] = snapshot.adam_v[f"{i:04d}"]
+        self._rng.bit_generator.state = snapshot.rng_state
+        history.train_loss = list(snapshot.train_loss)
+        history.val_loss = list(snapshot.val_loss)
+        history.best_epoch = snapshot.best_epoch
+        self._best_state = snapshot.best_state
+        logger.info(
+            "resumed training from %s at epoch %d", path, snapshot.epoch + 1
+        )
+        return snapshot.epoch + 1, snapshot.best_val, snapshot.bad_epochs
 
     # ------------------------------------------------------------------
     # Evaluation helpers

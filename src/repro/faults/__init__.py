@@ -1,0 +1,54 @@
+"""Deterministic fault injection for chaos-testing training and serving.
+
+See :mod:`repro.faults.plan` for the full model. The short version::
+
+    from repro.faults import FaultPlan, injected
+
+    plan = FaultPlan(seed=0).on("serve.forecast", at=2)
+    with injected(plan):
+        ...  # the 2nd forward on the serving path raises InjectedFault
+
+Seams currently threaded through the codebase:
+
+==============================  =================================================
+site                            where / what it models
+==============================  =================================================
+``parallel.worker{i}.task``     worker ``i`` begins a shard (crash/hang/raise)
+``parallel.worker{i}.sample``   worker ``i`` mid-shard, one per sample
+``parallel.worker{i}.reply``    transform: poison a worker's result payload
+``trainer.epoch``               start of each training epoch
+``trainer.batch``               before each optimizer step (mid-epoch interrupt)
+``serve.dispatch``              the dispatcher, per micro-batch (hang ⇒ overload)
+``serve.forecast``              the model forward on the request path
+``serve.reload``                checkpoint hot-reload, before the load
+``state.ingest``                per trip event entering the flow store
+``state.clock``                 transform: skew an event's (start, end) times
+``state.rollover``              slot rollover in the flow store
+==============================  =================================================
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    FaultRule,
+    FiredFault,
+    InjectedFault,
+    active_plan,
+    arm,
+    disarm,
+    fault_point,
+    fault_transform,
+    injected,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FiredFault",
+    "InjectedFault",
+    "active_plan",
+    "arm",
+    "disarm",
+    "fault_point",
+    "fault_transform",
+    "injected",
+]

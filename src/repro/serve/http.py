@@ -114,6 +114,7 @@ class ServingHandler(BaseHTTPRequestHandler):
             "warmed_up": store.warmed_up,
             "model_version": service.model_version,
             "dispatcher_running": service.running,
+            "reload_failed": service.reload_failed,
         })
 
     def _metrics(self) -> None:
@@ -185,6 +186,7 @@ class ServingHandler(BaseHTTPRequestHandler):
             "supply": forecast.supply.tolist(),
             "model_version": forecast.model_version,
             "cached": forecast.cached,
+            "stale": forecast.stale,
         })
 
     def _reload(self) -> None:

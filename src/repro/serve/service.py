@@ -24,9 +24,17 @@ forecaster. Three serving concerns live here, all dependency-free:
   store's dimensions, and swaps the model reference atomically.
   In-flight batches keep the reference they grabbed, so they finish on
   the old weights; the next dispatch picks up the new ones. A failed
-  reload (missing file, schema mismatch, wrong dimensions) raises — or
-  is counted and logged by the background watcher — and the old model
-  keeps serving.
+  reload (missing, corrupt/mid-write, schema-mismatched or
+  wrong-dimension checkpoint) raises — or is counted and logged by the
+  background watcher — and the old model keeps serving.
+* **Degraded serving** — failures answer requests anyway, honestly
+  flagged. While the checkpoint on disk cannot be loaded (a torn or
+  corrupt write), responses keep coming from the old weights with
+  ``stale=True`` until a good checkpoint lands. If the model forward
+  itself fails (e.g. an injected dispatcher fault), the service falls
+  back to the last finalized forecast, again with ``stale=True``, and
+  counts it in ``serve.stale_served``. The chaos suite
+  (``tests/faults/test_serve_chaos.py``) drives both paths.
 
 The request path never touches global RNG state: the model runs in eval
 mode (dropout is identity) on the forward-only fast path, and all
@@ -51,6 +59,7 @@ from repro.core.model import STGNNDJD
 from repro.core.persistence import load_stgnn
 from repro.data.dataset import BikeShareDataset
 from repro.data.normalize import MinMaxNormalizer
+from repro.faults import fault_point
 from repro.obs.registry import default_registry
 from repro.serve.state import FlowStateStore
 from repro.tensor import inference_mode
@@ -123,6 +132,10 @@ class Forecast:
     supply: np.ndarray  # (s,) or (s, horizon)
     model_version: int
     cached: bool  # served from the per-slot forecast cache
+    # Degraded-mode marker: True when this answer comes from weights
+    # known to lag the checkpoint on disk (a reload failed) or is the
+    # last finalized forecast re-served after a forward failure.
+    stale: bool = False
 
 
 class _Request:
@@ -167,6 +180,15 @@ class PredictionService:
         self._watcher: threading.Thread | None = None
         self._stop = threading.Event()
         self._checkpoint_mtime: float | None = None
+        # Degraded-mode state: the last successfully computed all-station
+        # forecast (re-served stale when a forward fails) and whether the
+        # newest reload attempt failed (weights lag the disk checkpoint).
+        self._last_good: Forecast | None = None
+        self._reload_failed = False
+        #: Signalled on every successful / failed reload attempt — the
+        #: condition tests (and operators) wait on instead of polling.
+        self.reload_ok_event = threading.Event()
+        self.reload_error_event = threading.Event()
         obs = default_registry()
         self._obs = obs
         self._requests_counter = obs.counter("serve.requests")
@@ -177,6 +199,7 @@ class PredictionService:
         self._cache_misses = obs.counter("serve.cache_misses")
         self._reload_counter = obs.counter("serve.reloads")
         self._reload_errors = obs.counter("serve.reload_errors")
+        self._stale_counter = obs.counter("serve.stale_served")
         self._request_timer = obs.timer("serve.request_seconds")
 
     # ------------------------------------------------------------------
@@ -252,6 +275,11 @@ class PredictionService:
     @property
     def model_version(self) -> int:
         return self._model_version
+
+    @property
+    def reload_failed(self) -> bool:
+        """Whether the newest reload attempt failed (weights lag the disk)."""
+        return self._reload_failed
 
     def start(self) -> "PredictionService":
         """Spawn the dispatcher (and the checkpoint watcher, if armed)."""
@@ -374,6 +402,7 @@ class PredictionService:
             # swaps self._model but cannot affect these requests.
             model, version = self._model, self._model_version
             try:
+                fault_point("serve.dispatch")
                 full = self._full_forecast(model, version)
             except BaseException as error:  # noqa: BLE001 - forwarded to callers
                 for request in batch:
@@ -390,7 +419,14 @@ class PredictionService:
         return self._subset(self._full_forecast(model, version), stations)
 
     def _full_forecast(self, model: STGNNDJD, version: int) -> Forecast:
-        """All-station forecast for the frontier slot, cache-aware."""
+        """All-station forecast for the frontier slot, cache-aware.
+
+        Degrades instead of failing: if the forward (or an injected
+        ``serve.forecast`` fault) raises and a previous forecast exists,
+        that last finalized forecast is re-served with ``stale=True``
+        and counted in ``serve.stale_served``. Only a failure with no
+        fallback propagates to the caller.
+        """
         store = self.store
         key = (store.frontier, store.version, version)
         if self.config.cache:
@@ -406,6 +442,7 @@ class PredictionService:
                     supply=supply,
                     model_version=version,
                     cached=True,
+                    stale=self._reload_failed,
                 )
             self._cache_misses.inc()
         if model.training:
@@ -413,11 +450,23 @@ class PredictionService:
             # predict() flips back to train mode) must not re-arm
             # dropout on the serving path.
             model.eval()
-        sample = store.sample()
-        with inference_mode(), backend.buffer_scope(self._pool):
-            demand_pred, supply_pred = model(sample)
-            demand = self.demand_normalizer.inverse_transform(demand_pred.data)
-            supply = self.supply_normalizer.inverse_transform(supply_pred.data)
+        try:
+            fault_point("serve.forecast")
+            sample = store.sample()
+            with inference_mode(), backend.buffer_scope(self._pool):
+                demand_pred, supply_pred = model(sample)
+                demand = self.demand_normalizer.inverse_transform(demand_pred.data)
+                supply = self.supply_normalizer.inverse_transform(supply_pred.data)
+        except Exception as error:
+            fallback = self._last_good
+            if fallback is None:
+                raise
+            self._stale_counter.inc()
+            logger.error(
+                "forecast failed (%s); serving last finalized forecast "
+                "for slot %d as stale", error, fallback.slot,
+            )
+            return dataclasses.replace(fallback, stale=True)
         demand.setflags(write=False)
         supply.setflags(write=False)
         if self.config.cache:
@@ -425,14 +474,17 @@ class PredictionService:
                 self._cache[key] = (demand, supply)
                 while len(self._cache) > 8:  # keep only the freshest slots
                     self._cache.pop(next(iter(self._cache)))
-        return Forecast(
+        forecast = Forecast(
             slot=sample.t,
             stations=np.arange(store.config.num_stations),
             demand=demand,
             supply=supply,
             model_version=version,
             cached=False,
+            stale=self._reload_failed,
         )
+        self._last_good = forecast
+        return forecast
 
     @staticmethod
     def _subset(full: Forecast, stations: np.ndarray | None) -> Forecast:
@@ -445,6 +497,7 @@ class PredictionService:
             supply=full.supply[stations],
             model_version=full.model_version,
             cached=full.cached,
+            stale=full.stale,
         )
 
     # ------------------------------------------------------------------
@@ -462,16 +515,25 @@ class PredictionService:
             raise ServiceError("no checkpoint path configured for reload")
         with self._reload_lock:
             try:
+                fault_point("serve.reload")
                 model = load_stgnn(path)
                 self._check_compatible(model)
             except BaseException:
+                # The disk checkpoint is newer than what we serve but
+                # unusable (torn write, corruption, schema drift): keep
+                # the old weights and mark responses stale until a good
+                # checkpoint arrives.
                 self._reload_errors.inc()
+                self._reload_failed = True
+                self.reload_error_event.set()
                 raise
             model.eval()
             self._model = model
             self._model_version += 1
             self._checkpoint_mtime = _mtime(path)
+            self._reload_failed = False
             self._reload_counter.inc()
+            self.reload_ok_event.set()
             logger.info(
                 "hot-reloaded checkpoint %s (model version %d)",
                 path, self._model_version,

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.data.dataset import BikeShareDataset, FlowSample
 from repro.data.records import SECONDS_PER_DAY, TripRecord
+from repro.faults import fault_point, fault_transform
 from repro.obs.registry import default_registry
 
 
@@ -255,6 +256,14 @@ class FlowStateStore:
             raise ValueError(
                 f"station ids must be in 0..{n - 1}, got {origin}->{destination}"
             )
+        # Chaos seams: "state.clock" lets a plan skew this event's
+        # timestamps in flight (modelling feed clock drift); the skewed
+        # times then flow through the exact same validation and late
+        # policy as real ones. "state.ingest" can crash/raise per event.
+        fault_point("state.ingest")
+        start_time, end_time = fault_transform(
+            "state.clock", (start_time, end_time)
+        )
         slot_seconds = self.config.slot_seconds
         start_slot = int(start_time // slot_seconds)
         end_slot = int(end_time // slot_seconds)
@@ -321,6 +330,7 @@ class FlowStateStore:
                 )
             if slot == self._frontier:
                 return
+            fault_point("state.rollover")
             gap = slot - self._frontier
             if gap >= self._capacity:
                 # The entire ring is evicted; skip per-slot zeroing.

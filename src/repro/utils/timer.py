@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 
 class Timer:
@@ -13,6 +14,10 @@ class Timer:
     corrupt ``total`` — so nested entry raises instead. Use separate
     ``Timer`` instances (or :func:`repro.obs.span`) for nested scopes.
 
+    ``clock`` injects the time source (default
+    :func:`time.perf_counter`), so tests can drive a fake clock forward
+    deterministically instead of sleeping real wall time.
+
     >>> timer = Timer()
     >>> with timer:
     ...     pass
@@ -20,9 +25,10 @@ class Timer:
     1
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self.total = 0.0
         self.count = 0
+        self._clock = clock
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
@@ -30,13 +36,13 @@ class Timer:
             raise RuntimeError(
                 "Timer is not reentrant: already timing a section"
             )
-        self._start = time.perf_counter()
+        self._start = self._clock()
         return self
 
     def __exit__(self, *exc_info) -> None:
         if self._start is None:
             raise RuntimeError("Timer exited without entering")
-        self.total += time.perf_counter() - self._start
+        self.total += self._clock() - self._start
         self.count += 1
         self._start = None
 

@@ -1,11 +1,28 @@
-"""Shared fixtures: small synthetic datasets and deterministic RNGs."""
+"""Shared fixtures: small synthetic datasets and deterministic RNGs.
+
+Also registers the hypothesis settings profiles: ``dev`` (local default)
+and ``ci`` (fixed deadline-free budget, ``derandomize=True`` so CI runs
+are reproducible and flake-free). CI selects the ``ci`` profile through
+the standard ``CI`` environment variable; individual tests may still
+override ``max_examples`` inline without losing the profile's
+derandomization.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.data import SyntheticCityConfig, generate_city
+
+settings.register_profile("dev", deadline=None, max_examples=50)
+settings.register_profile(
+    "ci", deadline=None, max_examples=50, derandomize=True, print_blob=True
+)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture

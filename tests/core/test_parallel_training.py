@@ -122,13 +122,16 @@ class TestLifecycle:
     def test_worker_error_is_surfaced(self, mini_dataset):
         trainer = make_trainer(mini_dataset, workers=1)
         # Sabotage the per-sample loss; the forked worker inherits the
-        # broken trainer and must report the failure, not hang.
+        # broken trainer and must report the failure, not hang. The
+        # parent then recovers the shard serially — and because the bug
+        # is deterministic, the recovery reproduces the *original*
+        # exception instead of swallowing it.
         def boom(t):
             raise ValueError("sabotaged sample")
 
         trainer._sample_loss = boom
         with GradientWorkerPool(trainer, 1) as pool:
-            with pytest.raises(RuntimeError, match="sabotaged sample"):
+            with pytest.raises(ValueError, match="sabotaged sample"):
                 pool.accumulate_gradients([trainer.dataset.min_history], 1.0)
 
     def test_invalid_worker_count(self, mini_dataset):

@@ -1,0 +1,13 @@
+"""Chaos-suite fixtures: guarantee no plan leaks across tests."""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults():
+    """Every chaos test starts and ends with injection disarmed."""
+    faults.disarm()
+    yield
+    faults.disarm()

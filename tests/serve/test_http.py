@@ -10,6 +10,7 @@ import pytest
 from repro.core import STGNNDJD, save_checkpoint
 from repro.obs import metrics_scope
 from repro.serve import PredictionService, ServiceConfig, make_server
+from repro.serve.service import _Request
 
 
 @pytest.fixture
@@ -142,9 +143,11 @@ class TestOverloadMapping:
         thread = threading.Thread(target=http_server.serve_forever, daemon=True)
         thread.start()
         release = threading.Event()
+        picked = threading.Event()
         original = service._full_forecast
 
         def blocking(model, version):
+            picked.set()
             release.wait(timeout=10.0)
             return original(model, version)
 
@@ -159,21 +162,22 @@ class TestOverloadMapping:
                 except urllib.error.HTTPError as error:
                     results.append((error.code, dict(error.headers)))
 
-            threads = [threading.Thread(target=call) for _ in range(6)]
-            for t in threads:
-                t.start()
-            pause = threading.Event()
-            for _ in range(500):
-                if any(r[0] == 503 for r in results):
-                    break
-                pause.wait(0.01)
+            # Deterministic overload: wedge the dispatcher on one
+            # request, fill the depth-1 queue synchronously, and only
+            # then issue the request that must bounce with a 503.
+            first = threading.Thread(target=call)
+            first.start()
+            assert picked.wait(timeout=10.0)
+            backlog = _Request(None)
+            service._queue.put_nowait(backlog)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(http_server, "/predict")
+            assert excinfo.value.code == 503
+            assert "Retry-After" in dict(excinfo.value.headers)
             release.set()
-            for t in threads:
-                t.join(timeout=10.0)
-            rejected = [r for r in results if r[0] == 503]
-            assert rejected, f"expected at least one 503, got {results}"
-            headers = rejected[0][1]
-            assert "Retry-After" in headers
+            first.join(timeout=10.0)
+            assert backlog.done.wait(timeout=10.0)  # rejected != dropped
+            assert results and results[0][0] == 200
         finally:
             service.stop()
             release.set()

@@ -1,12 +1,24 @@
 """Utilities: seeding, timing, logging."""
 
 import logging
-import time
 
 import numpy as np
 import pytest
 
 from repro.utils import Timer, get_logger, seeded_rng, set_global_level, spawn_rngs
+
+
+class FakeClock:
+    """A deterministic injectable clock: no sleeps, no timing flakes."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
 
 
 class TestSeeding:
@@ -34,13 +46,22 @@ class TestSeeding:
 
 class TestTimer:
     def test_accumulates(self):
-        timer = Timer()
-        for _ in range(3):
+        clock = FakeClock()
+        timer = Timer(clock=clock)
+        for seconds in (0.5, 1.25, 0.25):
             with timer:
-                time.sleep(0.001)
+                clock.advance(seconds)
         assert timer.count == 3
-        assert timer.total >= 0.003
+        assert timer.total == pytest.approx(2.0)
         assert timer.mean == pytest.approx(timer.total / 3)
+
+    def test_default_clock_is_wall_time(self):
+        # Smoke-check the default: real perf_counter time, no fake.
+        timer = Timer()
+        with timer:
+            pass
+        assert timer.count == 1
+        assert timer.total >= 0.0
 
     def test_mean_of_unused_timer(self):
         assert Timer().mean == 0.0
@@ -64,7 +85,7 @@ class TestTimer:
         # ran, so the timer is back to a clean, reusable state.
         assert not timer.running
         with timer:
-            time.sleep(0.001)
+            pass
         assert timer.count == 2
 
     def test_running_flag(self):
