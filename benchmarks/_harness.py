@@ -212,6 +212,26 @@ def evaluate(model_name: str, dataset_name: str, window: str | None = None,
 
 
 # ----------------------------------------------------------------------
+# Op-level profiling (embedded in the BENCH_*.json run reports)
+# ----------------------------------------------------------------------
+def op_profile(fn, *args, **kwargs) -> tuple[object, dict]:
+    """Run ``fn`` under :func:`repro.obs.profile`; return (result, dict).
+
+    The dict is ``OpProfile.to_dict()`` — per-op call counts, seconds and
+    bytes plus the fused-coverage ratio — and is embedded verbatim in the
+    benchmark result JSONs so every run report records *where* the time
+    went, not just how much of it. Run this on a separate, untimed pass:
+    the wrappers add per-dispatch overhead that would contaminate the
+    latency numbers.
+    """
+    from repro.obs import profile
+
+    with profile() as prof:
+        result = fn(*args, **kwargs)
+    return result, prof.to_dict()
+
+
+# ----------------------------------------------------------------------
 # Paper-reported numbers (for the side-by-side printouts)
 # ----------------------------------------------------------------------
 # Table I: method -> (Chicago RMSE, MAE, LA RMSE, MAE)

@@ -36,6 +36,7 @@ from _harness import (
     PAPER_EFFICIENCY,
     get_dataset,
     get_stgnn_trainer,
+    op_profile,
 )
 from repro import backend
 from repro.utils import Timer
@@ -108,7 +109,13 @@ def measured_latencies(city: str) -> dict[str, float]:
 
 def _persist(city: str, latencies: dict[str, float], speedup: float) -> None:
     dataset = get_dataset(city)
+    # Untimed profiled pass: where one inference-mode prediction spends
+    # its op dispatches (per-op seconds/bytes, fused-coverage ratio).
+    trainer = get_stgnn_trainer(city)
+    t = int(dataset.split_indices()[2][0])
+    _, profile_dict = op_profile(trainer.predict, t)
     _results[city] = {
+        "op_profile": profile_dict,
         "latency_seconds_per_slot": latencies,
         "speedup_float32_vs_recorded": speedup,
         "speedup_target": SPEEDUP_TARGET,

@@ -1,0 +1,294 @@
+"""Paper-scale scaling benchmark: latency and memory vs station count.
+
+The paper's Chicago dataset has 571 Divvy stations; the dense graph
+stack is O(n^2) per layer in both memory and FLOPs, so this benchmark
+charts how the substrate behaves as the city grows to that size:
+
+* forward latency (inference mode, warm, median over repeats);
+* training-epoch latency (one full epoch over the train split);
+* a served ``/predict`` round trip through :class:`PredictionService`;
+* peak RSS via ``resource.getrusage`` — measured in a *fresh subprocess
+  per size* (the bench_training pattern), so each number is a true
+  high-water mark, not contaminated by previously benchmarked sizes;
+* at the largest size, the dense-vs-sparse forward deviation — the
+  documented tolerance of genuine top-k sparsity (full coverage is
+  bitwise and pinned by tests/golden instead).
+
+Scaling gate (asserted by the parent): peak RSS at n=571 must stay below
+4x the n=300 peak — dense-quadratic growth would put the ratio at
+(571/300)^2 ~= 3.62 *per quadratic term*, plus the quadratic dense data
+tensors; the sparse graph stack keeps the model-side growth near-linear
+so the total clears the bar.
+
+Results go to ``BENCH_scale.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py           # full run
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_scale.json"
+_CHILD_MARKER = "RESULT_JSON:"
+
+try:
+    import repro  # noqa: F401  (resolves via PYTHONPATH when set)
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+SIZES = (24, 100, 300, 571)
+DAYS = 6  # 288 half-hour slots; min_history 144 leaves a real train split
+FORWARD_REPEATS = 5
+RSS_RATIO_LIMIT = 4.0  # peak_rss(571) must stay under 4x peak_rss(300)
+MODEL_KWARGS = dict(fcg_layers=1, pcg_layers=1, num_heads=2, dropout=0.0)
+
+
+def _city_config(n: int, days: int):
+    """The chicago_571 preset, rescaled to ``n`` stations.
+
+    Per-station trip volume (30 trips/station/day — real Divvy density)
+    and all temporal settings are held fixed so the only thing that
+    varies across sizes is the station count.
+    """
+    from repro import SyntheticCityConfig
+
+    config = SyntheticCityConfig.chicago_571(days=days)
+    if n == config.num_stations:
+        return config
+    return dataclasses.replace(
+        config,
+        name=f"chicago-{n}",
+        num_stations=n,
+        trips_per_day=30.0 * n,
+        school_pairs=min(4, n // 8),
+    )
+
+
+def _peak_rss_bytes() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+# ----------------------------------------------------------------------
+# Child mode: one station count in one fresh process
+# ----------------------------------------------------------------------
+def _run_child(n: int, days: int, graph_mode: str, parity: str) -> None:
+    from _harness import op_profile
+    from repro import STGNNDJD, Trainer, TrainingConfig, generate_city
+    from repro import backend
+    from repro.serve import PredictionService, ServiceConfig
+    from repro.tensor import inference_mode
+
+    start = time.perf_counter()
+    dataset = generate_city(_city_config(n, days), seed=2022)
+    dataset_seconds = time.perf_counter() - start
+
+    model = STGNNDJD.from_dataset(
+        dataset, seed=3, graph_mode=graph_mode, **MODEL_KWARGS
+    )
+    representation = (
+        "sparse" if model.graph_sparsity.use_sparse(n) else "dense"
+    )
+
+    model.eval()
+    t = int(dataset.min_history)
+    with inference_mode():
+        model(dataset.sample(t))  # warm (buffer pool, caches)
+        timings = []
+        for i in range(FORWARD_REPEATS):
+            tick = time.perf_counter()
+            model(dataset.sample(t + i))
+            timings.append(time.perf_counter() - tick)
+    forward_seconds = float(np.median(timings))
+
+    with inference_mode():
+        _, profile_dict = op_profile(model, dataset.sample(t))
+
+    # One served /predict round trip (the online path must work at
+    # every size, chicago_571 included).
+    # cache=False so the timed request pays a real forward rather than
+    # hitting the per-slot forecast cache the warm request primed.
+    with PredictionService.for_dataset(
+        model, dataset, config=ServiceConfig(cache=False)
+    ) as service:
+        service.predict(timeout=600.0)  # warm
+        tick = time.perf_counter()
+        service.predict(timeout=600.0)
+        serve_seconds = time.perf_counter() - tick
+
+    # One full training epoch, under the trainer's float64 pin.
+    model.train()
+    train_idx = dataset.split_indices()[0]
+    trainer = Trainer(
+        model, dataset, TrainingConfig(epochs=1, batch_size=8, seed=5)
+    )
+    with backend.dtype_scope(np.float64):
+        tick = time.perf_counter()
+        trainer._run_epoch(train_idx)
+        epoch_seconds = time.perf_counter() - tick
+
+    result = {
+        "n": n,
+        "days": days,
+        "representation": representation,
+        "graph_top_k": model.config.graph_top_k,
+        "dataset_seconds": dataset_seconds,
+        "forward_seconds": forward_seconds,
+        "serve_predict_seconds": serve_seconds,
+        "epoch_seconds": epoch_seconds,
+        "train_samples": int(len(train_idx)),
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "op_profile": profile_dict,
+    }
+
+    if parity == "tolerance":
+        # Dense twin, same seed: the deviation genuine top-k sparsity
+        # introduces at this size (forward, inference mode).
+        dense = STGNNDJD.from_dataset(
+            dataset, seed=3, graph_mode="dense", **MODEL_KWARGS
+        )
+        dense.eval()
+        with inference_mode():
+            demand_s, supply_s = model(dataset.sample(t))
+            demand_d, supply_d = dense(dataset.sample(t))
+        diff = max(
+            float(np.abs(demand_s.data - demand_d.data).max()),
+            float(np.abs(supply_s.data - supply_d.data).max()),
+        )
+        scale = max(
+            float(np.abs(demand_d.data).max()), float(np.abs(supply_d.data).max())
+        )
+        # Untrained models are the worst case for this comparison: with
+        # random (unconcentrated) features the top-k rows keep only
+        # ~k/n of the dense weight mass before renormalising, so the
+        # deviation here is an upper bound, not typical trained-model
+        # behaviour (see DESIGN.md section 8b).
+        result["sparse_vs_dense"] = {
+            "max_abs_diff": diff,
+            "dense_output_scale": scale,
+            "kept_mass_fraction_approx": model.config.graph_top_k / n,
+        }
+    elif parity == "bitwise":
+        # Full coverage (top_k >= n) must reproduce the dense forward
+        # bit for bit — the smoke-mode contract check.
+        full = STGNNDJD.from_dataset(
+            dataset, seed=3, graph_mode="sparse", graph_top_k=n, **MODEL_KWARGS
+        )
+        dense = STGNNDJD.from_dataset(
+            dataset, seed=3, graph_mode="dense", **MODEL_KWARGS
+        )
+        full.eval()
+        dense.eval()
+        with inference_mode():
+            demand_s, supply_s = full(dataset.sample(t))
+            demand_d, supply_d = dense(dataset.sample(t))
+        np.testing.assert_array_equal(demand_s.data, demand_d.data, strict=True)
+        np.testing.assert_array_equal(supply_s.data, supply_d.data, strict=True)
+        result["sparse_vs_dense"] = {"max_abs_diff": 0.0, "bitwise": True}
+
+    print(_CHILD_MARKER + json.dumps(result), flush=True)
+
+
+# ----------------------------------------------------------------------
+# Parent mode
+# ----------------------------------------------------------------------
+def _measure(n: int, days: int, graph_mode: str, parity: str) -> dict:
+    cmd = [
+        sys.executable, str(Path(__file__).resolve()), "--_child",
+        f"--n={n}", f"--days={days}", f"--graph-mode={graph_mode}",
+        f"--parity={parity}",
+    ]
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, env=dict(os.environ),
+        cwd=str(REPO_ROOT),
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"measurement failed (n={n}):\n{proc.stderr}")
+    for line in proc.stdout.splitlines():
+        if line.startswith(_CHILD_MARKER):
+            return json.loads(line[len(_CHILD_MARKER):])
+    raise RuntimeError(f"no result marker in child output:\n{proc.stdout}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: n=24 only, plus the full-coverage "
+                             "bitwise parity check")
+    parser.add_argument("--days", type=int, default=DAYS)
+    parser.add_argument("--graph-mode", default="auto",
+                        choices=("auto", "dense", "sparse"))
+    parser.add_argument("--parity", default="none", help=argparse.SUPPRESS)
+    parser.add_argument("--n", type=int, help=argparse.SUPPRESS)
+    parser.add_argument("--output", type=Path, default=RESULTS_PATH)
+    parser.add_argument("--_child", action="store_true", help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args._child:
+        _run_child(args.n, args.days, args.graph_mode, args.parity)
+        return 0
+
+    if args.smoke:
+        sizes, days = (24,), DAYS
+    else:
+        sizes, days = SIZES, args.days
+
+    results = {
+        "smoke": args.smoke,
+        "graph_mode": args.graph_mode,
+        "rss_ratio_limit": RSS_RATIO_LIMIT,
+        "sizes": {},
+    }
+    for n in sizes:
+        if args.smoke:
+            parity = "bitwise"
+        else:
+            parity = "tolerance" if n == max(sizes) else "none"
+        print(f"== n={n} ==", flush=True)
+        entry = _measure(n, days, args.graph_mode, parity)
+        results["sizes"][str(n)] = entry
+        print(f"   {entry['representation']:<6} forward {entry['forward_seconds']*1e3:8.1f} ms  "
+              f"epoch {entry['epoch_seconds']:7.1f} s  "
+              f"serve {entry['serve_predict_seconds']*1e3:8.1f} ms  "
+              f"peak RSS {entry['peak_rss_bytes']/1e9:5.2f} GB")
+        if "sparse_vs_dense" in entry:
+            print(f"   sparse vs dense: {entry['sparse_vs_dense']}")
+
+    failures = []
+    if {"300", "571"} <= results["sizes"].keys():
+        ratio = (results["sizes"]["571"]["peak_rss_bytes"]
+                 / results["sizes"]["300"]["peak_rss_bytes"])
+        results["rss_ratio_571_vs_300"] = ratio
+        print(f"\npeak RSS growth 300 -> 571: {ratio:.2f}x "
+              f"(limit {RSS_RATIO_LIMIT}x)")
+        if ratio >= RSS_RATIO_LIMIT:
+            failures.append(
+                f"peak RSS at n=571 is {ratio:.2f}x the n=300 peak "
+                f"(>= {RSS_RATIO_LIMIT}x limit)"
+            )
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -125,6 +125,17 @@ def run_bench(smoke: bool = False) -> dict:
     )
 
     speedup = batched["throughput_rps"] / unbatched["throughput_rps"]
+
+    # Untimed profiled pass: one served prediction's op dispatches
+    # (single client, so only the dispatcher thread runs tensor ops).
+    from _harness import op_profile
+
+    with PredictionService.for_dataset(
+        model, dataset, config=ServiceConfig(cache=False)
+    ) as service:
+        service.predict(timeout=60.0)  # warm
+        _, profile_dict = op_profile(service.predict, timeout=60.0)
+
     results = {
         "city": "tiny",
         "num_stations": dataset.num_stations,
@@ -134,6 +145,7 @@ def run_bench(smoke: bool = False) -> dict:
         "unbatched": unbatched,
         "speedup_batched_vs_unbatched": speedup,
         "speedup_target": SPEEDUP_TARGET,
+        "op_profile": profile_dict,
     }
     RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
 

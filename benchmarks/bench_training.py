@@ -108,6 +108,14 @@ def _run_child(city: str, workers: int, epochs: int, warmup: int, batch_size: in
             start = time.perf_counter()
             losses = [run_epoch() for _ in range(epochs)]
             elapsed = time.perf_counter() - start
+            # Untimed profiled pass: the epoch's op dispatches (per-op
+            # seconds/bytes, fused coverage) for the run report. Skipped
+            # under the pool — the profiler only sees this process.
+            profile_dict = None
+            if pool is None:
+                from _harness import op_profile
+
+                _, profile_dict = op_profile(run_epoch)
     finally:
         if pool is not None:
             pool.close()
@@ -119,6 +127,7 @@ def _run_child(city: str, workers: int, epochs: int, warmup: int, batch_size: in
         "samples_per_sec": len(train_idx) * epochs / elapsed,
         "train_loss": losses,
         "pool_active": pool is not None,
+        "op_profile": profile_dict,
     }
     print(_CHILD_MARKER + json.dumps(result), flush=True)
 

@@ -20,9 +20,12 @@ and that STGNN-DJD's design exploits:
   optional fraction of dirty records (negative durations, >24h trips,
   unknown stations) to exercise the cleaning path.
 
-Two presets mirror the paper's dataset contrast:
-:meth:`SyntheticCityConfig.chicago_like` (many stations, dense traffic)
-and :meth:`SyntheticCityConfig.la_like` (few stations, sparse traffic).
+Presets come in four size tiers — ``tiny`` / ``la_like`` /
+``chicago_like`` / ``chicago_571`` — documented in one place on
+:class:`SyntheticCityConfig`. ``chicago_like`` vs ``la_like`` mirrors
+the paper's *traffic-density* contrast at test-friendly station counts;
+``chicago_571`` is the paper-scale tier (571 stations at the real Divvy
+trip rate) that the sparse graph stack targets.
 """
 
 from __future__ import annotations
@@ -47,6 +50,27 @@ _TYPE_NAMES = {HOME: "home", WORK: "work", SCHOOL: "school"}
 @dataclass(frozen=True, slots=True)
 class SyntheticCityConfig:
     """Parameters of the generative city model.
+
+    Size tiers — the canonical reference for every preset.
+    ``trips_per_day`` always scales as ``rate x num_stations``:
+
+    ============== ======== ================= ==================================
+    preset         stations trips/station/day role
+    ============== ======== ================= ==================================
+    tiny                  8                40 unit tests (hourly slots, 2-day
+                                              long window)
+    la_like              16                60 Metro-style: small & sparse traffic
+    chicago_like         40               300 Divvy-style *traffic density* at a
+                                              test-friendly station count
+    chicago_571         571                30 paper scale: the real Divvy station
+                                              count at the real per-station rate
+                                              (3.15M trips / 184 d / 571 ≈ 30)
+    ============== ======== ================= ==================================
+
+    ``chicago_like``'s 300 trips/station/day is a deliberately heavy
+    rate so density effects show at 40 stations; ``chicago_571`` uses
+    the measured real-system rate because at 571 stations the station
+    count itself supplies the load.
 
     Attributes
     ----------
@@ -139,7 +163,9 @@ class SyntheticCityConfig:
 
     @classmethod
     def chicago_like(cls, days: int = 21, num_stations: int = 40) -> "SyntheticCityConfig":
-        """Dense network, heavy traffic — the Divvy-style preset."""
+        """Divvy-style *traffic density* (300 trips/station/day) at a
+        test-friendly 40 stations — not the paper's station count; use
+        :meth:`chicago_571` for the real 571-station scale."""
         return cls(
             name="chicago-like",
             num_stations=num_stations,
@@ -163,6 +189,32 @@ class SyntheticCityConfig:
             center_lon=-118.24,
             center_lat=34.05,
             city_radius_km=5.0,
+        )
+
+    @classmethod
+    def chicago_571(cls, days: int = 10) -> "SyntheticCityConfig":
+        """Paper-scale Divvy: 571 stations at the real per-station rate.
+
+        571 stations and ~30 trips/station/day match the paper's Chicago
+        export (3.15M trips / 184 days / 571 stations ≈ 30). Thirty-minute
+        slots with a one-day short window (k=48) and a 3-day long window
+        keep one training epoch tractable on a single core while the
+        (slots, n, n) flow tensors stay the dominant memory term; trip
+        generation is day-chunked (see :func:`generate_trips`) so the
+        intensity model never materialises the full window at once.
+        """
+        return cls(
+            name="chicago-571",
+            num_stations=571,
+            days=days,
+            trips_per_day=30.0 * 571,
+            slot_seconds=1800.0,
+            short_window=48,
+            long_days=3,
+            school_pairs=4,
+            center_lon=-87.63,
+            center_lat=41.88,
+            city_radius_km=10.0,
         )
 
     @classmethod
@@ -356,14 +408,13 @@ def _citywide_factors(config: SyntheticCityConfig, rng: np.random.Generator) -> 
     return combined
 
 
-def intensity_tensor(city: SyntheticCity) -> np.ndarray:
-    """Expected trips per (slot, origin, destination) for the full window.
+def _base_day_intensities(city: SyntheticCity) -> tuple[np.ndarray, np.ndarray]:
+    """Normalised weekday/weekend ``(n, n, spd)`` intensity surfaces.
 
     Normalised so a weekday totals ``config.trips_per_day`` expected
     trips; weekend days are scaled by ``weekend_factor``.
     """
     config = city.config
-    spd = config.slots_per_day
     types = city.station_types
 
     # Per-slot type->type profile expanded to station pairs.
@@ -376,51 +427,100 @@ def intensity_tensor(city: SyntheticCity) -> np.ndarray:
 
     weekend = city.base_affinity[:, :, None] * city.weekend_profile[None, None, :]
     weekend *= config.trips_per_day * config.weekend_factor / weekend.sum()
+    return weekday, weekend
 
-    slots_total = config.days * spd
-    lam = np.empty((slots_total, len(city.registry), len(city.registry)))
-    for day in range(config.days):
-        is_weekend = day % 7 >= 5
-        day_lam = weekend if is_weekend else weekday
-        # Per-station popularity drift: origin and destination factors.
-        drift = city.station_day_factors[day]
-        day_lam = day_lam * drift[:, None, None] * drift[None, :, None]
-        lam[day * spd : (day + 1) * spd] = np.moveaxis(day_lam, 2, 0)
+
+def day_intensity(
+    city: SyntheticCity, day: int, weekday: np.ndarray, weekend: np.ndarray
+) -> np.ndarray:
+    """One day's expected trips ``(spd, n, n)``, all shock factors applied.
+
+    Elementwise identical to the matching block of
+    :func:`intensity_tensor`, so per-day consumers (chunked trip
+    generation) see bit-for-bit the values of the full tensor.
+    """
+    config = city.config
+    spd = config.slots_per_day
+    day_lam = weekend if day % 7 >= 5 else weekday
+    # Per-station popularity drift: origin and destination factors.
+    drift = city.station_day_factors[day]
+    day_lam = day_lam * drift[:, None, None] * drift[None, :, None]
     # Citywide day-level and slot-level shocks (weather, events).
-    lam *= city.slot_factors[:, None, None]
+    return np.moveaxis(day_lam, 2, 0) * city.slot_factors[
+        day * spd : (day + 1) * spd, None, None
+    ]
+
+
+def intensity_tensor(city: SyntheticCity) -> np.ndarray:
+    """Expected trips per (slot, origin, destination) for the full window.
+
+    Materialises the whole ``(days * spd, n, n)`` tensor — fine for
+    inspection and small cities; the generation path iterates
+    :func:`day_intensity` blocks instead so paper-scale cities never
+    hold more than one day of intensities.
+    """
+    config = city.config
+    spd = config.slots_per_day
+    weekday, weekend = _base_day_intensities(city)
+    n = len(city.registry)
+    lam = np.empty((config.days * spd, n, n))
+    for day in range(config.days):
+        lam[day * spd : (day + 1) * spd] = day_intensity(city, day, weekday, weekend)
     return lam
 
 
 def generate_trips(
     city: SyntheticCity, seed: int = 0
 ) -> list[TripRecord]:
-    """Sample trip records from the city's Poisson intensity model."""
+    """Sample trip records from the city's Poisson intensity model.
+
+    Sampling is day-chunked: ``Generator.poisson`` consumes the bit
+    stream per element in array order, so consecutive per-day draws are
+    bitwise identical to one full-window draw while peak memory stays at
+    one ``(spd, n, n)`` intensity block — at ``chicago_571`` scale that
+    is ~0.13 GB instead of ~2.5 GB of intensity + count tensors.
+    """
     config = city.config
     rng = np.random.default_rng(seed + 1)
-    lam = intensity_tensor(city)
-    counts = rng.poisson(lam)
+    weekday, weekend = _base_day_intensities(city)
     distances = city.registry.distance_matrix()
     slot_seconds = config.slot_seconds
+    spd = config.slots_per_day
 
+    # Phase 1: all Poisson draws, day by day. ``Generator.poisson``
+    # consumes the bit stream element-wise in array order, so these
+    # consecutive per-day draws replay exactly the stream of one full
+    # (days*spd, n, n) draw — but only one day's intensity block is ever
+    # live, and each day is compacted to its nonzero entries immediately.
+    sparse_counts = []
+    for day in range(config.days):
+        counts = rng.poisson(day_intensity(city, day, weekday, weekend))
+        nonzero = np.nonzero(counts)
+        sparse_counts.append((*nonzero, counts[nonzero]))
+
+    # Phase 2: per-trip jitter draws, in the same global (t, i, j) order
+    # as the pre-chunking implementation (days ascend, nonzero is
+    # row-major within a day), keeping the stream bitwise unchanged.
     trips: list[TripRecord] = []
     trip_id = 0
-    slot_idx, origins, destinations = np.nonzero(counts)
-    for t, i, j in zip(slot_idx, origins, destinations):
-        for _ in range(counts[t, i, j]):
-            start = (t + rng.random()) * slot_seconds
-            ride_km = max(distances[i, j], 0.3)
-            hours = ride_km / config.bike_speed_kmh
-            duration = max(hours * 3600.0 * rng.lognormal(0.0, 0.25), 120.0)
-            trips.append(
-                TripRecord(
-                    trip_id=trip_id,
-                    origin=int(i),
-                    destination=int(j),
-                    start_time=float(start),
-                    end_time=float(start + duration),
+    for day, (slot_idx, origins, destinations, values) in enumerate(sparse_counts):
+        for t_local, i, j, count in zip(slot_idx, origins, destinations, values):
+            t = day * spd + t_local
+            for _ in range(count):
+                start = (t + rng.random()) * slot_seconds
+                ride_km = max(distances[i, j], 0.3)
+                hours = ride_km / config.bike_speed_kmh
+                duration = max(hours * 3600.0 * rng.lognormal(0.0, 0.25), 120.0)
+                trips.append(
+                    TripRecord(
+                        trip_id=trip_id,
+                        origin=int(i),
+                        destination=int(j),
+                        start_time=float(start),
+                        end_time=float(start + duration),
+                    )
                 )
-            )
-            trip_id += 1
+                trip_id += 1
 
     if config.dirty_fraction > 0.0:
         trips.extend(_dirty_trips(config, rng, len(trips), first_id=trip_id))

@@ -1,0 +1,195 @@
+"""Sparse top-k edge structures for the spatial-temporal graphs.
+
+At paper scale (Divvy's Chicago network: n = 571 stations) the dense
+``(n, n)`` edge matrices of the FCG/PCG stack stop being free: every
+attention head of every PatternGNN layer materialises an ``n x n`` score
+matrix, softmax and aggregation, and every FlowGNN layer a dense
+weighted pooling — O(n^2) memory and O(n^2 f) FLOPs per layer per slot.
+This module provides the shared sparse representation both graphs emit
+instead: each node keeps its ``k`` strongest incoming edges as aligned
+``(n, k)`` index/weight arrays (a padded CSR — row pointers are implied
+by the fixed row width; :meth:`SparseEdges.to_csr` yields the classic
+three-array form).
+
+Design rules that make the representation exact where it must be:
+
+* **Indices are structural, weights differentiable.** Edge selection is
+  computed on raw numpy data (like the FCG mask) and never
+  differentiated through; the kept weights remain a recorded tensor
+  expression, so gradients flow exactly as on the dense path.
+* **Full coverage degenerates to dense, bitwise.** When ``k >= n`` every
+  row keeps all columns in ascending order: gathers become identity
+  copies and the blocked kernels collapse to the single dense matmul,
+  so float64 results are bit-for-bit identical to the dense path. This
+  is the parity tier the golden tests pin; genuine ``k < n`` sparsity is
+  an approximation with documented tolerance (see DESIGN.md).
+* **Padded slots carry weight exactly 0** (and ``valid`` False), so
+  scattering back to dense form needs no masking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+#: Graph representation modes: ``dense`` always materialises ``(n, n)``
+#: edges, ``sparse`` always emits top-k edges, ``auto`` switches to
+#: sparse only when the station count exceeds ``top_k`` (so small cities
+#: — every existing test/bench — keep the dense path bit-for-bit).
+VALID_GRAPH_MODES = ("auto", "dense", "sparse")
+
+
+@dataclass(frozen=True, slots=True)
+class GraphSparsityConfig:
+    """How the FCG/PCG builders represent their edges.
+
+    Attributes
+    ----------
+    mode:
+        One of :data:`VALID_GRAPH_MODES`.
+    top_k:
+        Maximum kept in-edges per node (including the self loop).
+    block_rows:
+        Row-block size for the gather/scatter aggregation kernels
+        (:func:`repro.tensor.ops.edge_aggregate`,
+        :func:`repro.tensor.ops.sdp_attention`) — bounds transient
+        memory to ``block_rows * top_k * f`` per block.
+    """
+
+    mode: str = "auto"
+    top_k: int = 64
+    block_rows: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mode not in VALID_GRAPH_MODES:
+            raise ValueError(
+                f"unknown graph mode {self.mode!r}; choose from {VALID_GRAPH_MODES}"
+            )
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.block_rows < 1:
+            raise ValueError("block_rows must be >= 1")
+
+    def use_sparse(self, num_nodes: int) -> bool:
+        """Whether a graph over ``num_nodes`` stations goes sparse."""
+        if self.mode == "dense":
+            return False
+        if self.mode == "sparse":
+            return True
+        return num_nodes > self.top_k
+
+    def row_k(self, num_nodes: int) -> int:
+        """Kept edges per row — ``top_k`` capped by the station count."""
+        return min(self.top_k, num_nodes)
+
+
+@dataclass(frozen=True, slots=True)
+class SparseEdges:
+    """Top-k incoming edges per node, as aligned ``(n, k)`` arrays.
+
+    Attributes
+    ----------
+    indices:
+        ``(n, k)`` int — column (source-node) ids per row, strictly
+        ascending and distinct within each row.
+    weights:
+        ``(n, k)`` differentiable edge weights, exactly 0 where
+        ``valid`` is False.
+    valid:
+        ``(n, k)`` bool — True where the slot is a real edge (a row with
+        fewer than ``k`` neighbors still lists ``k`` candidate columns;
+        the surplus slots are invalid and weightless).
+    full_coverage:
+        True when ``k == n`` and every row keeps all columns in
+        ascending order — the bitwise-dense degenerate case the
+        aggregation kernels turn into a single matmul.
+    block_rows:
+        Row-block size forwarded to the aggregation kernels.
+    """
+
+    indices: np.ndarray
+    weights: Tensor
+    valid: np.ndarray
+    full_coverage: bool
+    block_rows: int = 256
+
+    def __post_init__(self) -> None:
+        if self.indices.shape != self.valid.shape or self.indices.shape != tuple(
+            self.weights.shape
+        ):
+            raise ValueError(
+                "indices/weights/valid shapes disagree: "
+                f"{self.indices.shape} vs {tuple(self.weights.shape)} vs {self.valid.shape}"
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.indices.shape[0]
+
+    @property
+    def max_degree(self) -> int:
+        """The row width ``k`` (kept edges per node, valid or not)."""
+        return self.indices.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of real (valid) edges."""
+        return int(self.valid.sum())
+
+    def neighbor_counts(self) -> np.ndarray:
+        """Valid in-degree per node (the FCG diagnostic contract)."""
+        return self.valid.sum(axis=1)
+
+    def to_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Classic three-array CSR ``(indptr, col_indices, values)``.
+
+        Drops the invalid padding slots; values are the current weight
+        data (detached numpy, not differentiable).
+        """
+        flat_valid = self.valid.ravel()
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(self.valid.sum(axis=1), out=indptr[1:])
+        return (
+            indptr,
+            self.indices.ravel()[flat_valid].astype(np.int64, copy=False),
+            np.asarray(self.weights.data).ravel()[flat_valid],
+        )
+
+    def to_dense_weights(self) -> np.ndarray:
+        """Scatter the weights back to a dense ``(n, n)`` numpy array.
+
+        Parity/diagnostic helper; padded slots scatter harmlessly
+        because their weight is exactly 0.
+        """
+        n = self.num_nodes
+        dense = np.zeros((n, n), dtype=self.weights.data.dtype)
+        rows = np.broadcast_to(np.arange(n)[:, None], self.indices.shape)
+        np.add.at(dense, (rows, self.indices), np.asarray(self.weights.data))
+        return dense
+
+    def to_dense_mask(self) -> np.ndarray:
+        """Dense boolean adjacency of the valid edges."""
+        n = self.num_nodes
+        mask = np.zeros((n, n), dtype=bool)
+        rows = np.broadcast_to(np.arange(n)[:, None], self.indices.shape)
+        mask[rows[self.valid], self.indices[self.valid]] = True
+        return mask
+
+
+def topk_row_indices(priority: np.ndarray, k: int) -> np.ndarray:
+    """Column indices of the ``k`` largest entries per row, ascending.
+
+    ``priority`` is a raw ``(n, n)`` score array (higher = keep; use
+    ``np.inf`` to force a column, e.g. the diagonal self loop). With
+    ``k >= n`` this returns every column — the full-coverage layout whose
+    gathers are identity copies. Ties resolve by ``np.argpartition``
+    (deterministic for a fixed numpy build).
+    """
+    rows, cols = priority.shape
+    if k >= cols:
+        return np.broadcast_to(np.arange(cols), (rows, cols))
+    kept = np.argpartition(priority, cols - k, axis=1)[:, cols - k :]
+    return np.sort(kept, axis=1)

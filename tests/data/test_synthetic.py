@@ -53,6 +53,58 @@ class TestConfig:
             SyntheticCityConfig(num_stations=8, school_pairs=3)
 
 
+class TestChicago571Preset:
+    def test_paper_scale_dimensions(self):
+        config = SyntheticCityConfig.chicago_571()
+        assert config.num_stations == 571  # Divvy's station count (Sec. VII-A)
+        assert config.trips_per_day == pytest.approx(30.0 * 571)
+        assert config.slots_per_day == 48  # 30-minute slots, as the paper
+
+    def test_trip_density_matches_real_divvy(self):
+        # 3.15M trips / 184 days / 571 stations ~= 30 trips/station/day:
+        # the preset is paper-scale in *per-station* volume, not a
+        # scaled-up toy city.
+        config = SyntheticCityConfig.chicago_571()
+        per_station_day = config.trips_per_day / config.num_stations
+        assert per_station_day == pytest.approx(30.0)
+
+    def test_city_builds_without_full_intensity_tensor(self):
+        # build_city is O(n^2 * spd) for the base surfaces, fine; the
+        # point is it must not need the (days*spd, n, n) tensor.
+        city = build_city(SyntheticCityConfig.chicago_571(days=2), seed=0)
+        assert len(city.registry) == 571
+
+
+class TestDayChunkedGeneration:
+    """The chunked sampling path must replay the one-shot RNG stream."""
+
+    def test_day_intensity_blocks_tile_the_full_tensor(self, city):
+        from repro.data.synthetic import _base_day_intensities, day_intensity
+
+        lam = intensity_tensor(city)
+        spd = city.config.slots_per_day
+        weekday, weekend = _base_day_intensities(city)
+        for day in range(city.config.days):
+            np.testing.assert_array_equal(
+                day_intensity(city, day, weekday, weekend),
+                lam[day * spd : (day + 1) * spd],
+            )
+
+    def test_chunked_poisson_replays_full_draw(self, city):
+        from repro.data.synthetic import _base_day_intensities, day_intensity
+
+        lam = intensity_tensor(city)
+        full = np.random.default_rng(99).poisson(lam)
+        rng = np.random.default_rng(99)
+        weekday, weekend = _base_day_intensities(city)
+        spd = city.config.slots_per_day
+        for day in range(city.config.days):
+            chunk = rng.poisson(day_intensity(city, day, weekday, weekend))
+            np.testing.assert_array_equal(
+                chunk, full[day * spd : (day + 1) * spd], err_msg=f"day {day}"
+            )
+
+
 class TestCityStructure:
     def test_station_types_assigned(self, city):
         types = set(city.station_types.tolist())

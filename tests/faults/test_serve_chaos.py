@@ -11,7 +11,9 @@ of queueing unboundedly.
 from __future__ import annotations
 
 import os
+import struct
 import threading
+import zipfile
 
 import numpy as np
 import pytest
@@ -110,9 +112,20 @@ class TestTornCheckpointReload:
         service = self._boot(tiny_dataset, path)
         before = service.predict()
 
-        good = path.read_bytes()
-        flipped = bytearray(good)
-        flipped[len(flipped) // 2] ^= 0xFF  # bit-flip in an array member
+        # Flip a byte inside a weight member's CRC-protected payload
+        # (a fixed file offset is layout-dependent: it can land in dead
+        # zip local-header metadata that no reader ever checks).
+        flipped = bytearray(path.read_bytes())
+        with zipfile.ZipFile(path) as archive:
+            info = next(
+                i for i in archive.infolist()
+                if i.filename == "predictor.weight.npy"
+            )
+        name_len, extra_len = struct.unpack(
+            "<HH", flipped[info.header_offset + 26:info.header_offset + 30]
+        )
+        payload = info.header_offset + 30 + name_len + extra_len
+        flipped[payload + 80] ^= 0xFF  # past the npy magic, inside data
         path.write_bytes(bytes(flipped))
         with pytest.raises(CheckpointCorruptError):
             service.reload()

@@ -30,11 +30,14 @@ MODEL_KWARGS = dict(fcg_layers=1, pcg_layers=1, num_heads=2, dropout=0.0)
 T_OFFSETS = (0, 5, 17)
 
 
-def build():
+def build(**overrides):
+    """Pinned dataset + model; ``overrides`` layer onto MODEL_KWARGS
+    (used by the sparse-representation parity tests)."""
     dataset = generate_city(
         SyntheticCityConfig.tiny(days=10, num_stations=8), seed=DATASET_SEED
     )
-    model = STGNNDJD.from_dataset(dataset, seed=MODEL_SEED, **MODEL_KWARGS)
+    kwargs = {**MODEL_KWARGS, **overrides}
+    model = STGNNDJD.from_dataset(dataset, seed=MODEL_SEED, **kwargs)
     model.eval()
     return dataset, model
 

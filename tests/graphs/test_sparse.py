@@ -1,0 +1,374 @@
+"""Sparse top-k graph representation and its aggregation kernels.
+
+Parity contract (see ``repro/graphs/sparse.py`` and DESIGN.md): with
+full coverage (``k >= n``) every sparse path is **bitwise** identical to
+its dense counterpart in float64 — gathers are identity copies and the
+blocked kernels collapse to one dense matmul. Genuine ``k < n`` sparsity
+is an approximation; those tests assert structural properties and tight
+numerical agreement with an explicit reference, not bitwise equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GraphSparsityConfig,
+    SparseEdges,
+    SparseFlowConvolutedGraph,
+    build_fcg,
+    build_pcg,
+    topk_row_indices,
+)
+from repro.graphs.flow_convolution import FlowConvolutionOutput
+from repro.nn import PairwiseAdditiveAttention, ScaledDotProductAttention
+from repro.tensor import Tensor, inference_mode, ops
+
+
+def flow_output(features, inflow, outflow, requires_grad=True):
+    return FlowConvolutionOutput(
+        node_features=Tensor(
+            np.asarray(features, dtype=float), requires_grad=requires_grad
+        ),
+        temporal_inflow=Tensor(np.asarray(inflow, dtype=float)),
+        temporal_outflow=Tensor(np.asarray(outflow, dtype=float)),
+    )
+
+
+class TestGraphSparsityConfig:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError, match="graph mode"):
+            GraphSparsityConfig(mode="blocked")
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError, match="top_k"):
+            GraphSparsityConfig(top_k=0)
+        with pytest.raises(ValueError, match="block_rows"):
+            GraphSparsityConfig(block_rows=0)
+
+    def test_auto_switches_on_station_count(self):
+        config = GraphSparsityConfig(mode="auto", top_k=64)
+        assert not config.use_sparse(64)
+        assert config.use_sparse(65)
+
+    def test_forced_modes(self):
+        assert not GraphSparsityConfig(mode="dense", top_k=2).use_sparse(1000)
+        assert GraphSparsityConfig(mode="sparse", top_k=2).use_sparse(3)
+
+    def test_row_k_capped_by_station_count(self):
+        config = GraphSparsityConfig(top_k=64)
+        assert config.row_k(8) == 8
+        assert config.row_k(571) == 64
+
+
+class TestTopkRowIndices:
+    def test_full_coverage_is_identity_layout(self):
+        priority = np.random.default_rng(0).random((5, 5))
+        indices = topk_row_indices(priority, 7)
+        np.testing.assert_array_equal(
+            indices, np.broadcast_to(np.arange(5), (5, 5))
+        )
+
+    def test_selects_largest_per_row_ascending(self):
+        priority = np.array([[3.0, 1.0, 2.0, 0.0], [0.0, 1.0, 2.0, 3.0]])
+        indices = topk_row_indices(priority, 2)
+        np.testing.assert_array_equal(indices, [[0, 2], [2, 3]])
+
+    def test_inf_forces_a_column(self):
+        priority = np.random.default_rng(1).random((6, 6))
+        np.fill_diagonal(priority, np.inf)
+        indices = topk_row_indices(priority, 2)
+        assert all(i in indices[i] for i in range(6))
+
+
+class TestSparseEdges:
+    def build(self, n=4, k=2, seed=0):
+        rng = np.random.default_rng(seed)
+        indices = np.sort(
+            np.stack([rng.choice(n, size=k, replace=False) for _ in range(n)]),
+            axis=1,
+        )
+        valid = rng.random((n, k)) > 0.3
+        weights = rng.random((n, k)) * valid
+        return SparseEdges(
+            indices=indices,
+            weights=Tensor(weights),
+            valid=valid,
+            full_coverage=False,
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            SparseEdges(
+                indices=np.zeros((3, 2), dtype=int),
+                weights=Tensor(np.zeros((3, 3))),
+                valid=np.ones((3, 2), dtype=bool),
+                full_coverage=False,
+            )
+
+    def test_counts(self):
+        edges = self.build()
+        assert edges.num_nodes == 4
+        assert edges.max_degree == 2
+        assert edges.nnz == int(edges.valid.sum())
+        np.testing.assert_array_equal(
+            edges.neighbor_counts(), edges.valid.sum(axis=1)
+        )
+
+    def test_csr_round_trip(self):
+        edges = self.build()
+        indptr, cols, values = edges.to_csr()
+        assert indptr[0] == 0 and indptr[-1] == edges.nnz
+        dense = np.zeros((4, 4))
+        for i in range(4):
+            dense[i, cols[indptr[i]:indptr[i + 1]]] = values[indptr[i]:indptr[i + 1]]
+        np.testing.assert_array_equal(dense, edges.to_dense_weights())
+
+    def test_dense_mask_matches_valid(self):
+        edges = self.build()
+        mask = edges.to_dense_mask()
+        assert mask.sum() == edges.nnz
+        rows = np.broadcast_to(np.arange(4)[:, None], edges.indices.shape)
+        assert mask[rows[edges.valid], edges.indices[edges.valid]].all()
+
+
+class TestEdgeAggregate:
+    """The blocked gather/matmul kernel vs an explicit reference."""
+
+    def reference(self, w, v, indices):
+        if indices.ndim == 1:
+            return w @ v[indices]
+        gathered = v[indices]  # (n, k, f)
+        return np.einsum("nk,nkf->nf", w, gathered)
+
+    @pytest.mark.parametrize("block_rows", [1, 2, 256])
+    def test_forward_per_row_indices(self, rng, block_rows):
+        n, k, f = 6, 3, 4
+        w = rng.random((n, k))
+        v = rng.random((n, f))
+        indices = np.stack([rng.choice(n, size=k, replace=False) for _ in range(n)])
+        out = ops.edge_aggregate(
+            Tensor(w), Tensor(v), indices, block_rows=block_rows
+        )
+        np.testing.assert_allclose(
+            out.data, self.reference(w, v, indices), rtol=1e-13
+        )
+
+    def test_forward_shared_columns(self, rng):
+        n, k, f = 5, 3, 4
+        w = rng.random((n, k))
+        v = rng.random((n, f))
+        columns = np.array([0, 2, 4])
+        out = ops.edge_aggregate(Tensor(w), Tensor(v), columns)
+        np.testing.assert_array_equal(out.data, w @ v[columns])  # bitwise
+
+    def test_full_coverage_bitwise_dense_matmul(self, rng):
+        n, f = 7, 5
+        w = rng.random((n, n))
+        v = rng.random((n, f))
+        indices = np.broadcast_to(np.arange(n), (n, n))
+        out = ops.edge_aggregate(
+            Tensor(w), Tensor(v), indices, block_rows=2, full_coverage=True
+        )
+        np.testing.assert_array_equal(out.data, w @ v)  # bitwise
+
+    @pytest.mark.parametrize("shared", [False, True])
+    @pytest.mark.parametrize("block_rows", [2, 256])
+    def test_gradients_match_recorded_reference(self, rng, shared, block_rows):
+        n, k, f = 6, 3, 4
+        w = rng.random((n, k))
+        v = rng.random((n, f))
+        if shared:
+            indices = np.array([1, 3, 5])
+        else:
+            indices = np.stack(
+                [rng.choice(n, size=k, replace=False) for _ in range(n)]
+            )
+        upstream = rng.random((n, f))
+
+        w_t, v_t = Tensor(w, requires_grad=True), Tensor(v, requires_grad=True)
+        out = ops.edge_aggregate(w_t, v_t, indices, block_rows=block_rows)
+        (out * Tensor(upstream)).sum().backward()
+
+        # Reference: the same contraction as a recorded gather chain
+        # (indices select rows of ``values`` in both layouts).
+        w_r, v_r = Tensor(w, requires_grad=True), Tensor(v, requires_grad=True)
+        gathered = v_r[indices]  # (k, f) shared, (n, k, f) per-row
+        if shared:
+            ref = w_r @ gathered
+        else:
+            ref = (w_r.reshape((n, k, 1)) * gathered).sum(axis=1)
+        (ref * Tensor(upstream)).sum().backward()
+
+        np.testing.assert_allclose(w_t.grad, w_r.grad, rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(v_t.grad, v_r.grad, rtol=1e-12, atol=1e-14)
+
+    def test_no_grad_fast_path_matches_recorded(self, rng):
+        n, k, f = 5, 2, 3
+        w, v = rng.random((n, k)), rng.random((n, f))
+        indices = np.stack([rng.choice(n, size=k, replace=False) for _ in range(n)])
+        recorded = ops.edge_aggregate(
+            Tensor(w, requires_grad=True), Tensor(v), indices
+        )
+        with inference_mode():
+            fast = ops.edge_aggregate(Tensor(w), Tensor(v), indices)
+        np.testing.assert_array_equal(fast.data, recorded.data)
+
+
+class TestSdpAttention:
+    def chain(self, q, k, v):
+        """The unfused reference: scores -> shifted softmax -> mix."""
+        scores = q @ k.T
+        scores = scores - scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+        return scores @ v
+
+    def test_full_pass_bitwise_vs_reference(self, rng):
+        n, d = 8, 5
+        q, k, v = rng.random((n, d)), rng.random((n, d)), rng.random((n, d))
+        out = ops.sdp_attention(Tensor(q), Tensor(k), Tensor(v))
+        np.testing.assert_array_equal(out.data, self.chain(q, k, v))
+
+    @pytest.mark.parametrize("block_rows", [1, 3, 7])
+    def test_blocked_matches_full_within_tolerance(self, rng, block_rows):
+        n, d = 9, 4
+        q, k, v = rng.random((n, d)), rng.random((n, d)), rng.random((n, d))
+        with inference_mode():
+            full = ops.sdp_attention(Tensor(q), Tensor(k), Tensor(v))
+            blocked = ops.sdp_attention(
+                Tensor(q), Tensor(k), Tensor(v), block_rows=block_rows
+            )
+        np.testing.assert_allclose(blocked.data, full.data, rtol=1e-13)
+
+    def test_gradients_match_recorded_reference(self, rng):
+        n, d = 6, 4
+        q, k, v = rng.random((n, d)), rng.random((n, d)), rng.random((n, d))
+        upstream = rng.random((n, d))
+
+        q_t = Tensor(q, requires_grad=True)
+        k_t = Tensor(k, requires_grad=True)
+        v_t = Tensor(v, requires_grad=True)
+        out = ops.sdp_attention(q_t, k_t, v_t)
+        (out * Tensor(upstream)).sum().backward()
+
+        q_r = Tensor(q, requires_grad=True)
+        k_r = Tensor(k, requires_grad=True)
+        v_r = Tensor(v, requires_grad=True)
+        ref = ops.row_softmax(q_r @ k_r.transpose()) @ v_r
+        (ref * Tensor(upstream)).sum().backward()
+
+        for got, want in ((q_t, q_r), (k_t, k_r), (v_t, v_r)):
+            np.testing.assert_allclose(got.grad, want.grad, rtol=1e-12, atol=1e-14)
+
+    def test_module_block_rows_inference_parity(self, rng):
+        n, d = 10, 6
+        x = Tensor(rng.random((n, d)))
+        exact = ScaledDotProductAttention(d, np.random.default_rng(0))
+        blocked = ScaledDotProductAttention(d, np.random.default_rng(0), block_rows=4)
+        with inference_mode():
+            np.testing.assert_allclose(
+                blocked(x).data, exact(x).data, rtol=1e-12
+            )
+
+
+class TestSparseFCG:
+    def build(self, rng, n=6, mode="sparse", top_k=3):
+        inflow = rng.random((n, n)) + 0.1  # fully connected
+        features = rng.standard_normal((n, n))
+        out = flow_output(features, inflow, inflow)
+        sparsity = GraphSparsityConfig(mode=mode, top_k=top_k)
+        return out, build_fcg(out, sparsity)
+
+    def test_full_coverage_bitwise_matches_dense(self, rng):
+        n = 6
+        inflow = (rng.random((n, n)) > 0.4) * 1.0
+        features = rng.standard_normal((n, n))
+        dense = build_fcg(flow_output(features, inflow, inflow))
+        out, sparse = self.build_from(features, inflow, top_k=n)
+        assert isinstance(sparse, SparseFlowConvolutedGraph)
+        assert sparse.edges.full_coverage
+        np.testing.assert_array_equal(
+            sparse.edges.weights.data, dense.weights.data
+        )
+        np.testing.assert_array_equal(sparse.edges.to_dense_mask(), dense.mask)
+
+    def build_from(self, features, inflow, top_k):
+        out = flow_output(features, inflow, inflow)
+        return out, build_fcg(out, GraphSparsityConfig(mode="sparse", top_k=top_k))
+
+    def test_topk_keeps_self_loop_and_caps_degree(self, rng):
+        out, graph = self.build(rng, n=6, top_k=3)
+        assert graph.edges.max_degree == 3
+        assert (graph.neighbor_counts() <= 3).all()
+        # Self loop forced into every row's kept set.
+        assert all(i in graph.edges.indices[i] for i in range(6))
+        assert (graph.edges.indices == np.sort(graph.edges.indices, axis=1)).all()
+        assert graph.edges.indices.shape == (6, 3)
+
+    def test_topk_rows_normalised(self, rng):
+        out, graph = self.build(rng, n=8, top_k=4)
+        weights = graph.edges.weights.data
+        sums = weights.sum(axis=1)
+        assert ((sums < 1.0 + 1e-9) & (sums >= 0.0)).all()
+        assert (weights >= 0.0).all()
+        # Invalid (masked) slots carry weight exactly 0.
+        assert (weights[~graph.edges.valid] == 0.0).all()
+
+    def test_weights_differentiable_wrt_features(self, rng):
+        out, graph = self.build(rng, n=6, top_k=3)
+        graph.edges.weights.sum().backward()
+        assert out.node_features.grad is not None
+        assert np.isfinite(out.node_features.grad).all()
+
+    def test_auto_mode_keeps_small_graphs_dense(self, rng):
+        n = 6
+        inflow = rng.random((n, n)) + 0.1
+        out = flow_output(rng.standard_normal((n, n)), inflow, inflow)
+        graph = build_fcg(out, GraphSparsityConfig(mode="auto", top_k=64))
+        assert not isinstance(graph, SparseFlowConvolutedGraph)
+
+
+class TestSparsePCG:
+    def test_full_coverage_bitwise_matches_dense(self, rng):
+        n = 7
+        features = Tensor(rng.standard_normal((n, n)), requires_grad=True)
+        attention = PairwiseAdditiveAttention(n, np.random.default_rng(5))
+        dense = build_pcg(features, attention)
+        sparse = build_pcg(
+            features, attention, GraphSparsityConfig(mode="sparse", top_k=n)
+        )
+        assert sparse.edges is not None and sparse.edges.full_coverage
+        np.testing.assert_array_equal(
+            sparse.edges.weights.data, dense.attention.data
+        )
+
+    def test_topk_selects_exact_largest_scores(self, rng):
+        n, k = 9, 4
+        features = Tensor(rng.standard_normal((n, n)))
+        attention = PairwiseAdditiveAttention(n, np.random.default_rng(5))
+        sparse = build_pcg(
+            features, attention, GraphSparsityConfig(mode="sparse", top_k=k)
+        )
+        # The monotone-dst shortcut must pick the same columns a dense
+        # per-row top-k over the full score matrix would (shared across
+        # rows because e(i, j) is strictly increasing in dst_j).
+        dense_alpha = attention(features).data
+        expected = set(np.argsort(dense_alpha[0])[n - k:])
+        assert set(sparse.edges.indices[0]) == expected
+        for row in sparse.edges.indices:
+            assert set(row) == expected
+
+    def test_topk_rows_sum_to_one(self, rng):
+        n, k = 8, 3
+        features = Tensor(rng.standard_normal((n, n)), requires_grad=True)
+        attention = PairwiseAdditiveAttention(n, np.random.default_rng(5))
+        sparse = build_pcg(
+            features, attention, GraphSparsityConfig(mode="sparse", top_k=k)
+        )
+        np.testing.assert_allclose(
+            sparse.edges.weights.data.sum(axis=1), np.ones(n), atol=1e-12
+        )
+        sparse.edges.weights.sum().backward()
+        assert features.grad is not None
