@@ -8,50 +8,89 @@ per-time-step graph program: a "batch" is N independent single-sample
 forward/backward passes whose gradients are averaged (see
 ``core/trainer.py``), which is embarrassingly parallel across samples.
 
-Protocol (one round trip per batch)
------------------------------------
-1. The parent sends every worker the current parameter arrays, its shard
-   of prediction times (a contiguous slice of the batch, in batch
-   order), and the 1/batch gradient scale.
-2. Each worker loads the parameters into its (forked, copy-on-write)
-   model, runs forward + backward per sample, and replies with its
-   summed loss and per-parameter gradient sums.
-3. The parent accumulates worker results **in worker index order** into
-   the parameters' persistent gradient buffers, then the trainer clips
-   and steps exactly as in serial mode.
+Transports
+----------
+The pool has two wire formats, selected by ``transport``:
+
+``shm`` (the default wherever ``multiprocessing.shared_memory`` works)
+    Parameters and gradients move through persistent shared-memory
+    arenas (``core/shm_arena.py``); the duplex pipe carries only small
+    control messages. One *parameter arena* holds the flat
+    ``ParamLayout`` image of the model: the parent publishes the
+    current parameter values into it once per sync point (one
+    ``np.copyto`` per batch, after the optimizer step), and every
+    worker's model parameters are zero-copy read-only views into it.
+    Each worker additionally owns one *gradient arena* — a small
+    header (shard loss + per-parameter has-grad flags) followed by the
+    same flat layout — and its parameters' persistent ``_grad_buffer``
+    accumulation targets are views into that arena, so the worker's
+    backward passes write gradients **directly into shared memory**
+    and the parent's reduction is a straight numpy sum over mapped
+    views. Nothing gradient- or parameter-sized is ever pickled.
+
+``pipe`` (legacy, and the fallback when shared memory is unavailable)
+    The original transport: the parent pickles the parameter arrays to
+    every worker with each task and workers pickle their gradient sums
+    back. Kept exercised by tests and the CI bench smoke
+    (``--transport=pipe``) as the shm path's behavioral reference.
+
+Scheduling is **epoch-granular** on the shm path: the trainer announces
+the epoch's full batch schedule once (:meth:`GradientWorkerPool.begin_epoch`),
+each worker walks its shard of every batch locally, and the per-batch
+exchange shrinks to a ``("go", k, scale)`` control message out and a
+tiny acknowledgement back. The parent reduces worker *i*'s completed
+arena while workers *i+1..K* are still computing — reduction overlaps
+compute instead of serialising behind the slowest worker — but always
+folds results in worker index order, which is what keeps the float64
+sums deterministic. Direct ``accumulate_gradients`` calls without a
+schedule (tests, ad-hoc batches) fall back to a self-contained
+``("task", batch, scale)`` message with identical semantics.
 
 Determinism / serial equivalence
 --------------------------------
 Shards are contiguous and ordered, reduction order is fixed, and every
-worker performs the same per-sample arithmetic as the serial loop. The
-only difference from serial training is the association order of the
-floating-point gradient sums (per-shard partial sums instead of one
-running sum), so for a deterministic model (``dropout == 0``) the
-training losses of ``workers=0`` and ``workers=K`` runs agree to within
-float64 summation reordering — empirically < 1e-9 relative, which the
-parity tests assert. Models that draw training-time randomness
-(``dropout > 0``) remain seeded-deterministic for a *fixed* worker
-count, but are not sample-for-sample identical to serial runs: each
-forked worker advances its own copy of the model's RNG.
+worker performs the same per-sample arithmetic as the serial loop —
+on both transports: the shm arenas change where the bytes live, not a
+single floating-point operation. The only difference from serial
+training is the association order of the gradient sums (per-shard
+partial sums instead of one running sum), so for a deterministic model
+(``dropout == 0``) the training losses of ``workers=0`` and
+``workers=K`` runs agree to within float64 summation reordering —
+empirically < 1e-9 relative, which the parity tests assert, and the two
+transports agree **bitwise** with each other. Models that draw
+training-time randomness (``dropout > 0``) remain seeded-deterministic
+for a *fixed* worker count, but are not sample-for-sample identical to
+serial runs: each forked worker advances its own copy of the model's
+RNG.
 
 Resilience
 ----------
-A worker that **dies mid-batch** (its pipe hits EOF), **hangs** past
-``reply_timeout``, replies with a **poisoned result** (non-finite loss
-or gradients), or raises, does not take training down. The parent
-recomputes the lost shard *itself*, reproducing the worker's exact
-arithmetic — gradients summed into fresh buffers, then folded in at the
-dead worker's reduction slot — so the recovered batch is **bitwise
-identical** to the batch an uninjured pool would have produced (for
-deterministic models). Dead or hung workers are respawned; if the
-respawn itself fails, the pool marks itself inactive and the trainer
-falls back to the serial loop for the rest of the run. The chaos suite
-(``tests/faults/test_parallel_chaos.py``) drives every one of these
-paths with injected faults and asserts the parity.
+A worker that **dies mid-batch** (its pipe hits EOF — possibly leaving
+a half-written gradient arena), **hangs** past ``reply_timeout``,
+replies with a **poisoned result** (non-finite loss or gradients), or
+raises, does not take training down. The parent never trusts an arena
+without its owner's acknowledgement: it recomputes the lost shard
+*itself*, reproducing the worker's exact arithmetic — gradients summed
+into fresh buffers, then folded in at the dead worker's reduction
+slot — so the recovered batch is **bitwise identical** to the batch an
+uninjured pool would have produced (for deterministic models). Dead or
+hung workers are respawned against the *same* arenas (and re-sent the
+active epoch schedule); if the respawn itself fails, the pool marks
+itself inactive and the trainer falls back to the serial loop for the
+rest of the run. The chaos suite (``tests/faults/test_parallel_chaos.py``)
+drives every one of these paths with injected faults — including the
+shm-specific seams ``parallel.shm.publish``,
+``parallel.worker{i}.shm.attach`` and ``parallel.worker{i}.shm.commit``
+— and asserts the parity.
 
-Fork is required (copy-on-write sharing of the model, dataset and
-windows); on platforms without it :meth:`GradientWorkerPool.create`
-returns ``None`` and the trainer falls back to the serial loop.
+Arena lifecycle: only the parent creates or unlinks shared-memory
+segments. :meth:`GradientWorkerPool.close` drops the parent's views and
+destroys every arena unlink-first (crash-safe, idempotent); workers
+exit without cleanup, so a chaos-killed worker can never leak or
+corrupt a segment. The fallback ladder is ``shm → pipe → serial``:
+arena creation failure degrades to the pipe transport, fork
+unavailability degrades to the serial loop (:meth:`GradientWorkerPool.create`
+returns ``None``), and both degradations are logged and counted.
 """
 
 from __future__ import annotations
@@ -62,6 +101,12 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.core.shm_arena import (
+    GradHeaderLayout,
+    ParamLayout,
+    SharedArena,
+    shm_available,
+)
 from repro.faults import fault_point, fault_transform
 from repro.obs import emit_event
 from repro.obs.registry import default_registry
@@ -75,18 +120,50 @@ logger = get_logger("parallel")
 _OK = "ok"
 _ERROR = "error"
 
+SHM = "shm"
+PIPE = "pipe"
+TRANSPORTS = ("auto", SHM, PIPE)
+
 
 def fork_available() -> bool:
     """Whether fork-based worker processes can be used on this platform."""
     return "fork" in mp.get_all_start_methods()
 
 
-def _worker_main(conn, trainer: "Trainer", params: list, index: int) -> None:
-    """Worker loop: receive (params, shard, scale) tasks until ``None``.
+class _ShmWorkerContext:
+    """Arena handles a worker inherits through the fork.
+
+    Views are built inside the child (after the fork) so the attach
+    step has its own fault seam; the arenas themselves are the parent's
+    objects, shared MAP_SHARED.
+    """
+
+    __slots__ = ("param_arena", "grad_arena", "param_layout", "header")
+
+    def __init__(self, param_arena, grad_arena, param_layout, header) -> None:
+        self.param_arena = param_arena
+        self.grad_arena = grad_arena
+        self.param_layout = param_layout
+        self.header = header
+
+
+def _worker_main(conn, trainer: "Trainer", params: list, index: int,
+                 num_workers: int, shm: _ShmWorkerContext | None) -> None:
+    """Worker loop: receive control messages until ``None``.
 
     Runs in the forked child. ``trainer`` and ``params`` are inherited
-    copy-on-write; parameter *values* arrive with every task so the
-    worker tracks the parent's optimizer steps.
+    copy-on-write. On the shm transport the worker rebinds every
+    parameter's ``data`` to a read-only view of the parameter arena
+    (tracking the parent's optimizer steps with zero copies) and
+    attaches its gradient arena views as the parameters' persistent
+    grad buffers, so backward passes accumulate straight into shared
+    memory. On the pipe transport parameter values arrive with every
+    task, exactly as the original per-batch protocol shipped them.
+
+    Messages: ``("epoch", schedule)`` stores the epoch's batch list;
+    ``("go", k, scale)`` computes this worker's shard of batch ``k``;
+    ``("task", batch, scale)`` is a schedule-free shm batch;
+    ``("ptask", datas, shard, scale)`` is a legacy pipe task.
 
     Metrics are fork-merged: the worker's (inherited) default registry
     is reset once at startup so pre-fork parent values are not double
@@ -96,25 +173,54 @@ def _worker_main(conn, trainer: "Trainer", params: list, index: int) -> None:
 
     Fault seams (armed plans are inherited through the fork, each worker
     counts its own hits): ``parallel.worker{index}.task`` per task,
-    ``parallel.worker{index}.sample`` per sample, and the
-    ``parallel.worker{index}.reply`` transform over the reply payload.
+    ``parallel.worker{index}.sample`` per sample, the
+    ``parallel.worker{index}.reply`` transform over the reply payload,
+    and on the shm path ``parallel.worker{index}.shm.attach`` at view
+    construction plus ``parallel.worker{index}.shm.commit`` between the
+    arena write and the acknowledgement.
     """
     task_site = f"parallel.worker{index}.task"
     sample_site = f"parallel.worker{index}.sample"
     reply_site = f"parallel.worker{index}.reply"
     registry = default_registry()
     registry.reset()
+    grad_views = flags = loss_out = None
+    if shm is not None:
+        fault_point(f"parallel.worker{index}.shm.attach")
+        param_views = shm.param_layout.views(
+            shm.param_arena.buf, writeable=False
+        )
+        grad_views = shm.param_layout.views(
+            shm.grad_arena.buf, base_offset=shm.header.header_bytes
+        )
+        flags = shm.header.flags_view(shm.grad_arena.buf)
+        loss_out = shm.header.loss_view(shm.grad_arena.buf)
+        for param, view, grad_view in zip(params, param_views, grad_views):
+            param.data = view
+            param.attach_grad_buffer(grad_view)
+    schedule: list | None = None
     try:
         while True:
-            task = conn.recv()
-            if task is None:
+            msg = conn.recv()
+            if msg is None:
                 return
-            datas, shard, scale = task
+            if msg[0] == "epoch":
+                schedule = msg[1]
+                continue
             try:
+                if msg[0] == "go":
+                    _, k, scale = msg
+                    shard = np.array_split(schedule[k], num_workers)[index]
+                elif msg[0] == "task":
+                    _, batch, scale = msg
+                    shard = np.array_split(np.asarray(batch), num_workers)[index]
+                else:  # "ptask"
+                    _, datas, shard, scale = msg
+                    for param, data in zip(params, datas):
+                        param.data = data
                 fault_point(task_site)
                 busy_start = time.perf_counter()
-                for param, data in zip(params, datas):
-                    param.data = data
+                for param in params:
                     param.grad = None
                 upstream = np.asarray(scale)
                 loss_sum = 0.0
@@ -133,7 +239,20 @@ def _worker_main(conn, trainer: "Trainer", params: list, index: int) -> None:
                 payload = fault_transform(
                     reply_site, (loss_sum, [p.grad for p in params], delta)
                 )
-                conn.send((_OK, payload))
+                if shm is not None:
+                    loss_sum, grads, delta = payload
+                    for i, (param, grad) in enumerate(zip(params, grads)):
+                        flags[i] = 0 if grad is None else 1
+                        # Accumulation already landed in the arena via
+                        # the attached buffer; only a transformed
+                        # (poisoned) reply needs an explicit write.
+                        if grad is not None and grad is not param.grad:
+                            np.copyto(grad_views[i], grad)
+                    loss_out[0] = loss_sum
+                    fault_point(f"parallel.worker{index}.shm.commit")
+                    conn.send((_OK, delta))
+                else:
+                    conn.send((_OK, payload))
             except Exception as exc:  # surface worker errors in the parent
                 conn.send((_ERROR, f"{type(exc).__name__}: {exc}"))
     except (EOFError, KeyboardInterrupt, BrokenPipeError):
@@ -150,11 +269,16 @@ class GradientWorkerPool:
         trainer: "Trainer",
         num_workers: int,
         reply_timeout: float | None = None,
+        transport: str = "auto",
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if reply_timeout is not None and reply_timeout <= 0:
             raise ValueError(f"reply_timeout must be positive, got {reply_timeout}")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
         if not fork_available():
             raise RuntimeError("fork start method is not available on this platform")
         self._trainer = trainer
@@ -163,6 +287,28 @@ class GradientWorkerPool:
         self.reply_timeout = reply_timeout
         self._closed = False
         self._degraded = False
+        #: Cumulative parent-side seconds per transport phase (always on;
+        #: a handful of ``perf_counter`` reads per batch). ``serialize``
+        #: is parameter publish + control-message send, ``compute_wait``
+        #: is time blocked on worker replies, ``reduce`` is the gradient
+        #: summation + metrics merge.
+        self.phase_seconds = {"serialize": 0.0, "compute_wait": 0.0, "reduce": 0.0}
+        self._epoch_phase_base = dict(self.phase_seconds)
+
+        # Epoch-granularity schedule state (shm transport).
+        self._schedule: list[np.ndarray] | None = None
+        self._cursor = 0
+        self._has_schedule = [False] * num_workers
+
+        # Arenas (shm transport only; _build_arenas may fall back).
+        self._param_arena: SharedArena | None = None
+        self._grad_arenas: list[SharedArena] = []
+        self._publish_views: list[np.ndarray] | None = None
+        self._worker_grad_views: list[list[np.ndarray]] = []
+        self._worker_flags: list[np.ndarray] = []
+        self._worker_loss: list[np.ndarray] = []
+
+        self.transport = self._resolve_transport(transport)
 
         # Touch lazily-built dataset state *before* forking so workers
         # share it copy-on-write instead of each rebuilding it.
@@ -172,21 +318,123 @@ class GradientWorkerPool:
         self._ctx = mp.get_context("fork")
         self._conns: list = [None] * num_workers
         self._procs: list = [None] * num_workers
-        for index in range(num_workers):
-            self._spawn_worker(index)
+        try:
+            for index in range(num_workers):
+                self._spawn_worker(index)
+        except BaseException:
+            self._destroy_arenas()
+            raise
+
+    # ------------------------------------------------------------------
+    # Transport resolution + arenas
+    # ------------------------------------------------------------------
+    def _resolve_transport(self, requested: str) -> str:
+        """Pick shm where possible; degrade to pipe loudly otherwise."""
+        if requested == PIPE:
+            return PIPE
+        if not shm_available():
+            if requested == SHM:
+                logger.warning(
+                    "transport='shm' requested but multiprocessing.shared_memory "
+                    "is unavailable; using the pipe transport"
+                )
+            self._record_transport_fallback("shm_unavailable", requested)
+            return PIPE
+        try:
+            self._build_arenas()
+            return SHM
+        except OSError as exc:  # /dev/shm full or unmapped
+            logger.warning(
+                "shared-memory arena creation failed (%s); "
+                "using the pipe transport", exc,
+            )
+            self._record_transport_fallback(f"arena_creation_failed: {exc}",
+                                            requested)
+            return PIPE
+
+    def _build_arenas(self) -> None:
+        """Create the parameter arena + one gradient arena per worker."""
+        datas = [param.data for param in self._params]
+        self._param_layout = ParamLayout(datas)
+        self._grad_header = GradHeaderLayout(len(datas))
+        grad_bytes = self._grad_header.header_bytes + self._param_layout.total_bytes
+        created: list[SharedArena] = []
+        try:
+            param_arena = SharedArena(self._param_layout.total_bytes)
+            created.append(param_arena)
+            grad_arenas = []
+            for _ in range(self.num_workers):
+                arena = SharedArena(grad_bytes)
+                created.append(arena)
+                grad_arenas.append(arena)
+        except OSError:
+            for arena in created:
+                arena.destroy()
+            raise
+        self._param_arena = param_arena
+        self._grad_arenas = grad_arenas
+        self._publish_views = self._param_layout.views(param_arena.buf)
+        self._worker_grad_views = [
+            self._param_layout.views(
+                arena.buf, base_offset=self._grad_header.header_bytes
+            )
+            for arena in grad_arenas
+        ]
+        self._worker_flags = [
+            self._grad_header.flags_view(arena.buf) for arena in grad_arenas
+        ]
+        self._worker_loss = [
+            self._grad_header.loss_view(arena.buf) for arena in grad_arenas
+        ]
+        registry = default_registry()
+        registry.gauge("parallel.shm.param_arena_bytes").set(
+            self._param_layout.total_bytes
+        )
+        registry.gauge("parallel.shm.grad_arena_bytes").set(grad_bytes)
+        registry.gauge("parallel.shm.arena_bytes_total").set(
+            self._param_layout.total_bytes + grad_bytes * self.num_workers
+        )
+
+    @property
+    def shm_segment_names(self) -> list[str]:
+        """``/dev/shm`` names of the live arenas (empty on pipe transport)."""
+        names = []
+        if self._param_arena is not None:
+            names.append(self._param_arena.name)
+        names.extend(arena.name for arena in self._grad_arenas)
+        return names
 
     def _spawn_worker(self, index: int) -> None:
-        """(Re)fork worker ``index``; replaces any previous pipe/process."""
+        """(Re)fork worker ``index``; replaces any previous pipe/process.
+
+        A respawned worker attaches to the *same* arenas (they are
+        inherited through the fresh fork) and, if an epoch schedule is
+        active, receives it again so the next ``go`` finds it in place.
+        """
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        shm_ctx = None
+        if self.transport == SHM:
+            shm_ctx = _ShmWorkerContext(
+                self._param_arena, self._grad_arenas[index],
+                self._param_layout, self._grad_header,
+            )
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._trainer, self._params, index),
+            args=(child_conn, self._trainer, self._params, index,
+                  self.num_workers, shm_ctx),
             daemon=True,
         )
         proc.start()
         child_conn.close()
         self._conns[index] = parent_conn
         self._procs[index] = proc
+        self._has_schedule[index] = False
+        if self._schedule is not None:
+            try:
+                parent_conn.send(("epoch", self._schedule))
+                self._has_schedule[index] = True
+            except (BrokenPipeError, OSError):  # caught again at next send
+                pass
 
     @classmethod
     def create(
@@ -194,6 +442,7 @@ class GradientWorkerPool:
         trainer: "Trainer",
         num_workers: int,
         reply_timeout: float | None = None,
+        transport: str = "auto",
     ) -> "GradientWorkerPool | None":
         """Build a pool, or return ``None`` (serial fallback) if unsupported."""
         if num_workers < 1:
@@ -207,7 +456,8 @@ class GradientWorkerPool:
             cls._record_fallback("fork_unavailable", num_workers)
             return None
         try:
-            return cls(trainer, num_workers, reply_timeout=reply_timeout)
+            return cls(trainer, num_workers, reply_timeout=reply_timeout,
+                       transport=transport)
         except OSError as exc:  # fork/pipe failure (resource limits)
             logger.warning("worker pool creation failed (%s); training serially", exc)
             cls._record_fallback(f"pool_creation_failed: {exc}", num_workers)
@@ -219,6 +469,62 @@ class GradientWorkerPool:
         default_registry().counter("parallel.fallback").inc()
         emit_event("event", "parallel.fallback",
                    reason=reason, requested_workers=num_workers)
+
+    @staticmethod
+    def _record_transport_fallback(reason: str, requested: str) -> None:
+        """Count + emit an shm→pipe degradation so it is visible in runs."""
+        default_registry().counter("parallel.transport_fallback").inc()
+        emit_event("event", "parallel.transport_fallback",
+                   reason=reason, requested_transport=requested)
+
+    # ------------------------------------------------------------------
+    # Epoch-granularity scheduling (shm transport)
+    # ------------------------------------------------------------------
+    def begin_epoch(self, batches: Sequence[np.ndarray]) -> None:
+        """Broadcast the epoch's batch schedule to every worker.
+
+        After this, each ``accumulate_gradients`` call whose batch is
+        the next schedule entry costs one ``("go", k, scale)`` control
+        message per worker — the workers derive their shards locally.
+        No-op on the pipe transport (which ships shards per batch) and
+        on closed pools.
+        """
+        if self._closed or self.transport != SHM:
+            return
+        self._schedule = [np.ascontiguousarray(batch) for batch in batches]
+        self._cursor = 0
+        self._epoch_phase_base = dict(self.phase_seconds)
+        msg = ("epoch", self._schedule)
+        for index, conn in enumerate(self._conns):
+            if conn is None:
+                continue
+            try:
+                conn.send(msg)
+                self._has_schedule[index] = True
+            except (BrokenPipeError, OSError):  # handled at the next send
+                self._has_schedule[index] = False
+
+    def end_epoch(self) -> None:
+        """Close the epoch's schedule; emit the phase/overlap telemetry."""
+        if self._schedule is None:
+            return
+        self._schedule = None
+        self._has_schedule = [False] * self.num_workers
+        registry = default_registry()
+        if registry.enabled:
+            phases = {
+                key: self.phase_seconds[key] - self._epoch_phase_base.get(key, 0.0)
+                for key in self.phase_seconds
+            }
+            window = phases["compute_wait"] + phases["reduce"]
+            # Fraction of the post-publish window the parent spent
+            # reducing already-complete arenas — work overlapped with
+            # the remaining workers' compute by construction.
+            overlap = phases["reduce"] / window if window > 0 else 0.0
+            registry.gauge("parallel.reduce_overlap_ratio").set(overlap)
+            emit_event("event", "parallel.epoch_phases",
+                       transport=self.transport,
+                       overlap_ratio=overlap, **phases)
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -243,30 +549,65 @@ class GradientWorkerPool:
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
-        shards = np.array_split(np.asarray(batch), self.num_workers)
-        datas = [param.data for param in self._params]
-        failed_send: set[int] = set()
-        for index, (conn, shard) in enumerate(zip(self._conns, shards)):
-            if conn is None:  # lost in a previous batch, respawn failed
-                failed_send.add(index)
-                continue
-            try:
-                conn.send((datas, shard, scale))
-            except (BrokenPipeError, OSError):
-                failed_send.add(index)
+        batch = np.asarray(batch)
+        shards = np.array_split(batch, self.num_workers)
         registry = default_registry()
-        reduce_start = time.perf_counter()
+        failed_send: set[int] = set()
+        serialize_start = time.perf_counter()
+        if self.transport == SHM:
+            # Sync point: publish the post-step parameters once; every
+            # worker's parameter views read them zero-copy.
+            fault_point("parallel.shm.publish")
+            for view, param in zip(self._publish_views, self._params):
+                np.copyto(view, param.data)
+            if (
+                self._schedule is not None
+                and self._cursor < len(self._schedule)
+                and np.array_equal(self._schedule[self._cursor], batch)
+            ):
+                msg = ("go", self._cursor, scale)
+                self._cursor += 1
+            else:  # schedule-free call (tests, ad-hoc batches)
+                msg = ("task", batch, scale)
+            for index, conn in enumerate(self._conns):
+                if conn is None:  # lost in a previous batch, respawn failed
+                    failed_send.add(index)
+                    continue
+                try:
+                    if msg[0] == "go" and not self._has_schedule[index]:
+                        conn.send(("epoch", self._schedule))
+                        self._has_schedule[index] = True
+                    conn.send(msg)
+                except (BrokenPipeError, OSError):
+                    failed_send.add(index)
+        else:
+            datas = [param.data for param in self._params]
+            for index, (conn, shard) in enumerate(zip(self._conns, shards)):
+                if conn is None:
+                    failed_send.add(index)
+                    continue
+                try:
+                    conn.send(("ptask", datas, shard, scale))
+                except (BrokenPipeError, OSError):
+                    failed_send.add(index)
+        serialize_seconds = time.perf_counter() - serialize_start
+
         total = 0.0
+        wait_seconds = 0.0
+        reduce_seconds = 0.0
         for index, shard in enumerate(shards):
             if index in failed_send:
                 if self._conns[index] is not None:
                     self._worker_failed(index, "pipe closed at send", respawn=True)
                 payload = None
             else:
+                wait_start = time.perf_counter()
                 payload = self._receive(index)
+                wait_seconds += time.perf_counter() - wait_start
             if payload is None:
                 total += self._recover_shard(shard, scale)
                 continue
+            reduce_start = time.perf_counter()
             loss_sum, grads, metrics_delta = payload
             total += loss_sum
             for param, grad in zip(self._params, grads):
@@ -274,10 +615,14 @@ class GradientWorkerPool:
                     param._accumulate(grad)
             if metrics_delta:
                 registry.merge(metrics_delta)
+            reduce_seconds += time.perf_counter() - reduce_start
+        self.phase_seconds["serialize"] += serialize_seconds
+        self.phase_seconds["compute_wait"] += wait_seconds
+        self.phase_seconds["reduce"] += reduce_seconds
         if registry.enabled:
-            registry.timer("parallel.reduce_seconds").observe(
-                time.perf_counter() - reduce_start
-            )
+            registry.timer("parallel.serialize_seconds").observe(serialize_seconds)
+            registry.timer("parallel.wait_seconds").observe(wait_seconds)
+            registry.timer("parallel.reduce_seconds").observe(reduce_seconds)
             registry.counter("parallel.batches").inc()
         return total
 
@@ -285,7 +630,14 @@ class GradientWorkerPool:
     # Failure classification + recovery
     # ------------------------------------------------------------------
     def _receive(self, index: int):
-        """Worker ``index``'s reply payload, or ``None`` after a failure.
+        """Worker ``index``'s result payload, or ``None`` after a failure.
+
+        Always ``(loss_sum, grads, metrics_delta)``: on the pipe
+        transport the whole payload arrives in the reply, on the shm
+        transport the reply is a bare acknowledgement and loss/flags/
+        gradients are read from the worker's arena views — but only
+        *after* the acknowledgement, so a half-written arena from a
+        crashed worker is never reduced.
 
         Classifies the four injected-failure modes: a hung worker (no
         reply within ``reply_timeout``), a dead worker (EOF/reset on the
@@ -301,15 +653,24 @@ class GradientWorkerPool:
                     index, f"no reply within {self.reply_timeout}s", respawn=True
                 )
                 return None
-            status, payload = conn.recv()
+            status, body = conn.recv()
         except (EOFError, ConnectionResetError, OSError) as exc:
             self._worker_failed(
                 index, f"died mid-batch ({exc or 'EOF'})", respawn=True
             )
             return None
         if status != _OK:
-            self._worker_failed(index, f"raised: {payload}", respawn=False)
+            self._worker_failed(index, f"raised: {body}", respawn=False)
             return None
+        if self.transport == SHM:
+            flags = self._worker_flags[index]
+            grads = [
+                view if flags[i] else None
+                for i, view in enumerate(self._worker_grad_views[index])
+            ]
+            payload = (float(self._worker_loss[index][0]), grads, body)
+        else:
+            payload = body
         loss_sum, grads, _ = payload
         if not np.isfinite(loss_sum) or any(
             grad is not None and not np.isfinite(grad).all() for grad in grads
@@ -360,7 +721,8 @@ class GradientWorkerPool:
         into fresh per-shard buffers (not the live ``.grad`` running
         sums), then fold in at this worker's slot in the reduction
         order. Same arithmetic, same association order — the recovered
-        batch matches an uninjured pool's bit for bit.
+        batch matches an uninjured pool's bit for bit. The dead
+        worker's arena contents (possibly half-written) are never read.
         """
         params = self._params
         saved = [param.grad for param in params]
@@ -393,7 +755,7 @@ class GradientWorkerPool:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the workers down; idempotent."""
+        """Shut the workers down and destroy the arenas; idempotent."""
         if self._closed:
             return
         self._closed = True
@@ -414,6 +776,21 @@ class GradientWorkerPool:
         for conn in self._conns:
             if conn is not None:
                 conn.close()
+        self._destroy_arenas()
+
+    def _destroy_arenas(self) -> None:
+        """Drop the parent's views, then unlink every segment; idempotent."""
+        self._publish_views = None
+        self._worker_grad_views = []
+        self._worker_flags = []
+        self._worker_loss = []
+        arenas = list(self._grad_arenas)
+        if self._param_arena is not None:
+            arenas.append(self._param_arena)
+        self._param_arena = None
+        self._grad_arenas = []
+        for arena in arenas:
+            arena.destroy()
 
     def __enter__(self) -> "GradientWorkerPool":
         return self
@@ -429,4 +806,7 @@ class GradientWorkerPool:
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else ("degraded" if self._degraded else "open")
-        return f"GradientWorkerPool(workers={self.num_workers}, {state})"
+        return (
+            f"GradientWorkerPool(workers={self.num_workers}, "
+            f"transport={self.transport}, {state})"
+        )

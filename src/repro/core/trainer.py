@@ -67,6 +67,12 @@ class TrainingConfig:
     # fork-based pool of N processes (falls back to serial when fork is
     # unavailable). See core/parallel.py for the determinism guarantee.
     workers: int = 0
+    # Gradient transport for the worker pool: "shm" moves parameters and
+    # gradients through persistent shared-memory arenas with an
+    # epoch-granularity schedule, "pipe" is the legacy per-batch pickle
+    # protocol, and "auto" (default) picks shm where available with a
+    # graceful fallback to pipe. Ignored when workers == 0.
+    transport: str = "auto"
     # "joint" = the paper's Eq. 21 loss; "independent" = plain MSE on
     # demand + MSE on supply (the design-choice ablation in DESIGN.md).
     loss: str = "joint"
@@ -97,6 +103,10 @@ class TrainingConfig:
             raise ValueError(f"loss must be 'joint' or 'independent', got {self.loss!r}")
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.transport not in ("auto", "shm", "pipe"):
+            raise ValueError(
+                f"transport must be 'auto', 'shm' or 'pipe', got {self.transport!r}"
+            )
         if (self.worker_reply_timeout_seconds is not None
                 and self.worker_reply_timeout_seconds <= 0):
             raise ValueError("worker_reply_timeout_seconds must be positive")
@@ -232,6 +242,7 @@ class Trainer:
         pool = GradientWorkerPool.create(
             self, self.config.workers,
             reply_timeout=self.config.worker_reply_timeout_seconds,
+            transport=self.config.transport,
         )
         try:
             for epoch in range(start_epoch, epochs):
@@ -308,26 +319,36 @@ class Trainer:
         start = time.perf_counter()
         total, count = 0.0, 0
         norm_sum, samples = 0.0, 0
-        for batch in batches:
-            fault_point("trainer.batch")
-            self.optimizer.zero_grad()
-            if pool is not None and not pool.active:
-                pool = None  # degraded mid-epoch: finish serially
-            if pool is not None:
-                batch_loss = pool.accumulate_gradients(batch, 1.0 / len(batch))
-            else:
-                batch_loss = 0.0
-                for t in batch:
-                    loss = self._sample_loss(int(t))
-                    # Average gradients over the batch: scale each sample's
-                    # upstream gradient by 1/batch instead of rescaling later.
-                    loss.backward(np.asarray(1.0 / len(batch)))
-                    batch_loss += loss.item()
-            norm_sum += clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
-            self.optimizer.step()
-            total += batch_loss / len(batch)
-            count += 1
-            samples += len(batch)
+        # Announce the epoch's batch schedule up front: on the shm
+        # transport workers then walk their shard of every batch locally
+        # and the per-batch exchange is a tiny control message.
+        epoch_pool = pool
+        if epoch_pool is not None and epoch_pool.active:
+            epoch_pool.begin_epoch(batches)
+        try:
+            for batch in batches:
+                fault_point("trainer.batch")
+                self.optimizer.zero_grad()
+                if pool is not None and not pool.active:
+                    pool = None  # degraded mid-epoch: finish serially
+                if pool is not None:
+                    batch_loss = pool.accumulate_gradients(batch, 1.0 / len(batch))
+                else:
+                    batch_loss = 0.0
+                    for t in batch:
+                        loss = self._sample_loss(int(t))
+                        # Average gradients over the batch: scale each sample's
+                        # upstream gradient by 1/batch instead of rescaling later.
+                        loss.backward(np.asarray(1.0 / len(batch)))
+                        batch_loss += loss.item()
+                norm_sum += clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+                self.optimizer.step()
+                total += batch_loss / len(batch)
+                count += 1
+                samples += len(batch)
+        finally:
+            if epoch_pool is not None:
+                epoch_pool.end_epoch()
         elapsed = time.perf_counter() - start
         self._epoch_stats = {
             "seconds": elapsed,

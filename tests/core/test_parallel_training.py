@@ -9,6 +9,8 @@ the pool must degrade to the serial loop when fork is unavailable.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -23,14 +25,28 @@ needs_fork = pytest.mark.skipif(
 )
 
 
-def make_trainer(dataset, workers: int, epochs: int = 2) -> Trainer:
+def make_trainer(
+    dataset, workers: int, epochs: int = 2, transport: str = "auto"
+) -> Trainer:
     model = STGNNDJD.from_dataset(
         dataset, seed=3, fcg_layers=1, pcg_layers=1, num_heads=2, dropout=0.0
     )
     config = TrainingConfig(
-        epochs=epochs, batch_size=8, seed=5, patience=10, workers=workers
+        epochs=epochs, batch_size=8, seed=5, patience=10, workers=workers,
+        transport=transport,
     )
     return Trainer(model, dataset, config)
+
+
+def serial_reference(trainer: Trainer, batch, scale: float):
+    """The serial loop's (loss, grads) for one batch, on a fresh trainer."""
+    trainer.optimizer.zero_grad()
+    loss_sum = 0.0
+    for t in batch:
+        loss = trainer._sample_loss(int(t))
+        loss.backward(np.asarray(scale))
+        loss_sum += loss.item()
+    return loss_sum, [np.array(p.grad) for p in trainer.optimizer.parameters]
 
 
 class TestConfig:
@@ -41,12 +57,17 @@ class TestConfig:
     def test_serial_default(self):
         assert TrainingConfig().workers == 0
 
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            TrainingConfig(transport="carrier-pigeon")
+
 
 @needs_fork
 class TestSerialParallelParity:
-    def test_loss_curves_match_serial(self, mini_dataset):
+    @pytest.mark.parametrize("transport", ["shm", "pipe"])
+    def test_loss_curves_match_serial(self, mini_dataset, transport):
         serial = make_trainer(mini_dataset, workers=0).fit()
-        parallel = make_trainer(mini_dataset, workers=2).fit()
+        parallel = make_trainer(mini_dataset, workers=2, transport=transport).fit()
         assert len(serial.train_loss) == len(parallel.train_loss)
         np.testing.assert_allclose(
             parallel.train_loss, serial.train_loss, rtol=0, atol=PARITY_ATOL
@@ -55,30 +76,75 @@ class TestSerialParallelParity:
             parallel.val_loss, serial.val_loss, rtol=0, atol=PARITY_ATOL
         )
 
-    def test_single_batch_gradients_match_serial(self, mini_dataset):
+    @pytest.mark.parametrize("transport", ["shm", "pipe"])
+    def test_single_batch_gradients_match_serial(self, mini_dataset, transport):
         batch = mini_dataset.split_indices()[0][:6]
         scale = 1.0 / len(batch)
-
-        serial = make_trainer(mini_dataset, workers=0)
-        serial.optimizer.zero_grad()
-        serial_loss = 0.0
-        for t in batch:
-            loss = serial._sample_loss(int(t))
-            loss.backward(np.asarray(scale))
-            serial_loss += loss.item()
+        serial_loss, serial_grads = serial_reference(
+            make_trainer(mini_dataset, workers=0), batch, scale
+        )
 
         parallel = make_trainer(mini_dataset, workers=2)
         parallel.optimizer.zero_grad()
-        with GradientWorkerPool(parallel, 2) as pool:
+        with GradientWorkerPool(parallel, 2, transport=transport) as pool:
+            assert pool.transport == transport
             parallel_loss = pool.accumulate_gradients(batch, scale)
 
         assert parallel_loss == pytest.approx(serial_loss, abs=PARITY_ATOL)
-        for p_serial, p_parallel in zip(
-            serial.optimizer.parameters, parallel.optimizer.parameters
+        for grad_serial, p_parallel in zip(
+            serial_grads, parallel.optimizer.parameters
         ):
             np.testing.assert_allclose(
-                p_parallel.grad, p_serial.grad, rtol=0, atol=PARITY_ATOL
+                p_parallel.grad, grad_serial, rtol=0, atol=PARITY_ATOL
             )
+
+    def test_shm_matches_pipe_bitwise(self, mini_dataset):
+        # The arenas change where the bytes live, not the arithmetic:
+        # the two transports must agree exactly, not just to tolerance.
+        batch = mini_dataset.split_indices()[0][:6]
+        scale = 1.0 / len(batch)
+        results = {}
+        for transport in ("shm", "pipe"):
+            trainer = make_trainer(mini_dataset, workers=2)
+            trainer.optimizer.zero_grad()
+            with GradientWorkerPool(trainer, 2, transport=transport) as pool:
+                loss = pool.accumulate_gradients(batch, scale)
+            results[transport] = (
+                loss, [np.array(p.grad) for p in trainer.optimizer.parameters]
+            )
+        assert results["shm"][0] == results["pipe"][0]
+        for grad_shm, grad_pipe in zip(results["shm"][1], results["pipe"][1]):
+            np.testing.assert_array_equal(grad_shm, grad_pipe)
+
+    def test_epoch_schedule_matches_serial(self, mini_dataset):
+        # The epoch-granularity "go" path (workers walking a broadcast
+        # schedule) must produce the same gradients as schedule-free
+        # calls — which themselves match serial.
+        train_idx = mini_dataset.split_indices()[0]
+        batches = [train_idx[:6], train_idx[6:12]]
+        scale = 1.0 / 6
+
+        trainer = make_trainer(mini_dataset, workers=2)
+        with GradientWorkerPool(trainer, 2) as pool:
+            assert pool.transport == "shm"
+            pool.begin_epoch(batches)
+            for batch in batches:
+                reference = make_trainer(mini_dataset, workers=0)
+                # Match parameters mid-epoch (no optimizer steps here,
+                # so the fresh reference model is identical by seed).
+                serial_loss, serial_grads = serial_reference(
+                    reference, batch, scale
+                )
+                trainer.optimizer.zero_grad()
+                loss = pool.accumulate_gradients(batch, scale)
+                assert loss == pytest.approx(serial_loss, abs=PARITY_ATOL)
+                for grad_serial, param in zip(
+                    serial_grads, trainer.optimizer.parameters
+                ):
+                    np.testing.assert_allclose(
+                        param.grad, grad_serial, rtol=0, atol=PARITY_ATOL
+                    )
+            pool.end_epoch()
 
 
 class TestFallback:
@@ -103,6 +169,43 @@ class TestFallback:
         trainer = make_trainer(mini_dataset, workers=2)
         with pytest.raises(RuntimeError, match="fork"):
             GradientWorkerPool(trainer, 2)
+
+    @needs_fork
+    def test_shm_unavailable_falls_back_to_pipe(self, mini_dataset, monkeypatch):
+        import repro.core.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "shm_available", lambda: False)
+        trainer = make_trainer(mini_dataset, workers=2)
+        batch = mini_dataset.split_indices()[0][:4]
+        trainer.optimizer.zero_grad()
+        with GradientWorkerPool(trainer, 2, transport="shm") as pool:
+            assert pool.transport == "pipe"
+            assert pool.shm_segment_names == []
+            loss = pool.accumulate_gradients(batch, 1.0 / len(batch))
+        assert np.isfinite(loss)
+
+    @needs_fork
+    def test_arena_creation_failure_falls_back_to_pipe(
+        self, mini_dataset, monkeypatch
+    ):
+        import repro.core.parallel as parallel_module
+
+        def no_room(nbytes):
+            raise OSError("No space left on device")
+
+        monkeypatch.setattr(parallel_module, "SharedArena", no_room)
+        trainer = make_trainer(mini_dataset, workers=2)
+        batch = mini_dataset.split_indices()[0][:4]
+        trainer.optimizer.zero_grad()
+        with GradientWorkerPool(trainer, 2) as pool:
+            assert pool.transport == "pipe"
+            loss = pool.accumulate_gradients(batch, 1.0 / len(batch))
+        assert np.isfinite(loss)
+
+    def test_invalid_transport_rejected(self, mini_dataset):
+        trainer = make_trainer(mini_dataset, workers=1)
+        with pytest.raises(ValueError, match="transport"):
+            GradientWorkerPool(trainer, 1, transport="carrier-pigeon")
 
 
 @needs_fork
@@ -138,3 +241,22 @@ class TestLifecycle:
         trainer = make_trainer(mini_dataset, workers=0)
         with pytest.raises(ValueError, match="num_workers"):
             GradientWorkerPool(trainer, 0)
+
+    def test_no_shm_segments_leak_after_close(self, mini_dataset):
+        pool = GradientWorkerPool(make_trainer(mini_dataset, workers=2), 2)
+        names = list(pool.shm_segment_names)
+        assert len(names) == 3  # one param arena + one grad arena per worker
+        assert all(os.path.exists(f"/dev/shm/{name}") for name in names)
+        pool.close()
+        assert pool.shm_segment_names == []
+        leaked = [name for name in names if os.path.exists(f"/dev/shm/{name}")]
+        assert leaked == []
+
+    def test_no_shm_segments_leak_after_fit(self, mini_dataset):
+        before = set(os.listdir("/dev/shm"))
+        make_trainer(mini_dataset, workers=2, epochs=1).fit()
+        leaked = {
+            name for name in set(os.listdir("/dev/shm")) - before
+            if name.startswith("psm_")
+        }
+        assert leaked == set()

@@ -1,0 +1,130 @@
+"""Byte-level contract of the shared-memory gradient transport.
+
+``core/shm_arena.py`` owns the arena layouts the worker pool maps numpy
+views over; these tests pin the alignment, round-trip, read-only and
+crash-safe-teardown guarantees the pool builds on.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.shm_arena import (
+    GradHeaderLayout,
+    ParamLayout,
+    SharedArena,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+class TestParamLayout:
+    def test_offsets_are_eight_byte_aligned(self):
+        arrays = [
+            np.zeros(3, dtype=np.uint8),  # 3 bytes: forces padding
+            np.zeros((2, 2), dtype=np.float64),
+            np.zeros((), dtype=np.float32),
+            np.zeros(5, dtype=np.float64),
+        ]
+        layout = ParamLayout(arrays)
+        assert len(layout) == len(arrays)
+        for (offset, shape, dtype), data in zip(layout.fields, arrays):
+            assert offset % 8 == 0
+            assert shape == data.shape
+            assert dtype == data.dtype
+        assert layout.total_bytes >= sum(a.nbytes for a in arrays)
+
+    def test_views_round_trip_through_an_arena(self):
+        arrays = [
+            np.arange(6, dtype=np.float64).reshape(2, 3),
+            np.full((), 7.0, dtype=np.float64),
+        ]
+        layout = ParamLayout(arrays)
+        arena = SharedArena(layout.total_bytes)
+        try:
+            writers = layout.views(arena.buf)
+            for view, data in zip(writers, arrays):
+                np.copyto(view, data)
+            readers = layout.views(arena.buf)
+            for view, data in zip(readers, arrays):
+                np.testing.assert_array_equal(view, data)
+                assert view.shape == data.shape and view.dtype == data.dtype
+        finally:
+            arena.destroy()
+
+    def test_readonly_views_reject_writes(self):
+        layout = ParamLayout([np.zeros(4, dtype=np.float64)])
+        arena = SharedArena(layout.total_bytes)
+        try:
+            (view,) = layout.views(arena.buf, writeable=False)
+            with pytest.raises(ValueError):
+                view[0] = 1.0
+        finally:
+            arena.destroy()
+
+    def test_base_offset_shifts_the_whole_layout(self):
+        layout = ParamLayout([np.zeros(2, dtype=np.float64)])
+        header = GradHeaderLayout(1)
+        arena = SharedArena(header.header_bytes + layout.total_bytes)
+        try:
+            (view,) = layout.views(arena.buf, base_offset=header.header_bytes)
+            view[:] = [1.5, 2.5]
+            raw = np.frombuffer(
+                arena.buf, dtype=np.float64, count=2, offset=header.header_bytes
+            )
+            np.testing.assert_array_equal(raw, [1.5, 2.5])
+            # The header region is untouched by the payload write.
+            assert float(header.loss_view(arena.buf)[0]) == 0.0
+        finally:
+            arena.destroy()
+
+
+class TestGradHeaderLayout:
+    def test_header_is_aligned_and_sized(self):
+        header = GradHeaderLayout(num_params=13)
+        assert header.header_bytes % 8 == 0
+        assert header.header_bytes >= 8 + 13
+
+    def test_loss_and_flags_round_trip(self):
+        header = GradHeaderLayout(num_params=3)
+        arena = SharedArena(header.header_bytes)
+        try:
+            header.loss_view(arena.buf)[0] = -2.25
+            flags = header.flags_view(arena.buf)
+            flags[:] = [1, 0, 1]
+            assert float(header.loss_view(arena.buf)[0]) == -2.25
+            np.testing.assert_array_equal(header.flags_view(arena.buf), [1, 0, 1])
+        finally:
+            arena.destroy()
+
+
+class TestSharedArena:
+    def test_destroy_unlinks_the_segment(self):
+        arena = SharedArena(64)
+        assert _segment_exists(arena.name)
+        arena.destroy()
+        assert not _segment_exists(arena.name)
+
+    def test_destroy_is_idempotent(self):
+        arena = SharedArena(64)
+        arena.destroy()
+        arena.destroy()
+
+    def test_destroy_with_live_views_still_unlinks(self):
+        # A numpy view keeps a buffer export open; destroy() must not
+        # leak the /dev/shm name over it (unlink-first teardown).
+        arena = SharedArena(64)
+        view = np.frombuffer(arena.buf, dtype=np.float64, count=8)
+        arena.destroy()
+        assert not _segment_exists(arena.name)
+        assert view[0] == 0.0  # pages live until the mapping drops
