@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -126,6 +127,33 @@ def run_bench(smoke: bool = False) -> dict:
 
     speedup = batched["throughput_rps"] / unbatched["throughput_rps"]
 
+    # Tracing overhead on the serving path: the same batched load with
+    # tracing enabled at the production sample rate, spans to JSONL.
+    # ``batched`` above (tracing disabled) is the baseline — disabled
+    # tracing costs one branch per span site.
+    from repro.obs import JsonlExporter, set_sink
+    from repro.obs.trace import TraceConfig, enable_tracing
+
+    trace_sample = 0.01
+    with tempfile.TemporaryDirectory(prefix="bench-serving-trace-") as tmp:
+        sink = JsonlExporter(Path(tmp) / "serve.events.jsonl")
+        prev_sink = set_sink(sink)
+        prev_trace = enable_tracing(TraceConfig(sample_rate=trace_sample))
+        try:
+            traced = _measure(
+                model, dataset,
+                ServiceConfig(cache=False, max_batch=64,
+                              batch_wait_seconds=0.001),
+                clients, requests_per_client, warmup,
+            )
+        finally:
+            enable_tracing(prev_trace if prev_trace is not None else False)
+            set_sink(prev_sink)
+            sink.close()
+    trace_overhead_pct = (
+        batched["throughput_rps"] / traced["throughput_rps"] - 1.0
+    ) * 100.0
+
     # Untimed profiled pass: one served prediction's op dispatches
     # (single client, so only the dispatcher thread runs tensor ops).
     from _harness import op_profile
@@ -145,6 +173,11 @@ def run_bench(smoke: bool = False) -> dict:
         "unbatched": unbatched,
         "speedup_batched_vs_unbatched": speedup,
         "speedup_target": SPEEDUP_TARGET,
+        "trace_overhead": {
+            "sample_rate": trace_sample,
+            "traced": traced,
+            "overhead_pct": trace_overhead_pct,
+        },
         "op_profile": profile_dict,
     }
     RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
@@ -157,6 +190,9 @@ def run_bench(smoke: bool = False) -> dict:
               f"p95 {pct['p95'] * 1000:.1f} ms, "
               f"p99 {pct['p99'] * 1000:.1f} ms, "
               f"{stats['requests']} requests)")
+    print(f"[tracing] {traced['throughput_rps']:.0f} req/s at "
+          f"sample_rate={trace_sample} "
+          f"({trace_overhead_pct:+.1f}% vs tracing disabled)")
     print(f"[serving] micro-batching speedup {speedup:.2f}x "
           f"(target >= {SPEEDUP_TARGET}x) -> {RESULTS_PATH.name}")
 

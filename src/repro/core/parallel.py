@@ -96,6 +96,7 @@ returns ``None``), and both degradations are logged and counted.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import time
 from typing import TYPE_CHECKING, Sequence
 
@@ -110,6 +111,16 @@ from repro.core.shm_arena import (
 from repro.faults import fault_point, fault_transform
 from repro.obs import emit_event
 from repro.obs.registry import default_registry
+from repro.obs.trace import (
+    NULL_SPAN,
+    TraceContext,
+    begin_worker_spans,
+    current_context,
+    discard_spans,
+    drain_spans,
+    emit_spans,
+    trace_span,
+)
 from repro.utils import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -128,6 +139,19 @@ TRANSPORTS = ("auto", SHM, PIPE)
 def fork_available() -> bool:
     """Whether fork-based worker processes can be used on this platform."""
     return "fork" in mp.get_all_start_methods()
+
+
+def _trace_ctx_tuple() -> tuple | None:
+    """The current trace context as a plain picklable tuple, or ``None``.
+
+    Unsampled contexts collapse to ``None`` at the source: the worker
+    would open a non-recording span anyway, so there is nothing worth
+    shipping across the pipe for them.
+    """
+    ctx = current_context()
+    if ctx is None or not ctx.sampled:
+        return None
+    return (ctx.trace_id, ctx.span_id, ctx.sampled)
 
 
 class _ShmWorkerContext:
@@ -160,10 +184,14 @@ def _worker_main(conn, trainer: "Trainer", params: list, index: int,
     memory. On the pipe transport parameter values arrive with every
     task, exactly as the original per-batch protocol shipped them.
 
-    Messages: ``("epoch", schedule)`` stores the epoch's batch list;
-    ``("go", k, scale)`` computes this worker's shard of batch ``k``;
-    ``("task", batch, scale)`` is a schedule-free shm batch;
-    ``("ptask", datas, shard, scale)`` is a legacy pipe task.
+    Messages: ``("epoch", schedule[, trace_ctx])`` stores the epoch's
+    batch list (plus the parent's trace context, parenting every
+    scheduled shard span); ``("go", k, scale)`` computes this worker's
+    shard of batch ``k``; ``("task", batch, scale[, trace_ctx])`` is a
+    schedule-free shm batch; ``("ptask", datas, shard, scale[,
+    trace_ctx])`` is a legacy pipe task. Trailing trace elements are
+    optional — workers unpack by length, so old-shape messages (tests,
+    chaos transforms) keep working.
 
     Metrics are fork-merged: the worker's (inherited) default registry
     is reset once at startup so pre-fork parent values are not double
@@ -184,6 +212,10 @@ def _worker_main(conn, trainer: "Trainer", params: list, index: int,
     reply_site = f"parallel.worker{index}.reply"
     registry = default_registry()
     registry.reset()
+    # Fork-worker trace mode: fresh id stream (the inherited counter
+    # would collide with the parent's), spans buffered locally and
+    # shipped home with each reply instead of written to the shared fd.
+    begin_worker_spans((os.getpid() << 8) | index)
     grad_views = flags = loss_out = None
     if shm is not None:
         fault_point(f"parallel.worker{index}.shm.attach")
@@ -199,6 +231,7 @@ def _worker_main(conn, trainer: "Trainer", params: list, index: int,
             param.data = view
             param.attach_grad_buffer(grad_view)
     schedule: list | None = None
+    epoch_ctx: tuple | None = None
     try:
         while True:
             msg = conn.recv()
@@ -206,16 +239,20 @@ def _worker_main(conn, trainer: "Trainer", params: list, index: int,
                 return
             if msg[0] == "epoch":
                 schedule = msg[1]
+                epoch_ctx = msg[2] if len(msg) > 2 else None
                 continue
             try:
                 if msg[0] == "go":
-                    _, k, scale = msg
+                    k, scale = msg[1], msg[2]
+                    ctx = epoch_ctx
                     shard = np.array_split(schedule[k], num_workers)[index]
                 elif msg[0] == "task":
-                    _, batch, scale = msg
+                    batch, scale = msg[1], msg[2]
+                    ctx = msg[3] if len(msg) > 3 else None
                     shard = np.array_split(np.asarray(batch), num_workers)[index]
                 else:  # "ptask"
-                    _, datas, shard, scale = msg
+                    datas, shard, scale = msg[1], msg[2], msg[3]
+                    ctx = msg[4] if len(msg) > 4 else None
                     for param, data in zip(params, datas):
                         param.data = data
                 fault_point(task_site)
@@ -224,11 +261,17 @@ def _worker_main(conn, trainer: "Trainer", params: list, index: int,
                     param.grad = None
                 upstream = np.asarray(scale)
                 loss_sum = 0.0
-                for t in shard:
-                    fault_point(sample_site)
-                    loss = trainer._sample_loss(int(t))
-                    loss.backward(upstream)
-                    loss_sum += loss.item()
+                worker_span = (
+                    trace_span("parallel.worker", parent=TraceContext(*ctx),
+                               worker=index, samples=int(len(shard)))
+                    if ctx is not None else NULL_SPAN
+                )
+                with worker_span:
+                    for t in shard:
+                        fault_point(sample_site)
+                        loss = trainer._sample_loss(int(t))
+                        loss.backward(upstream)
+                        loss_sum += loss.item()
                 delta = None
                 if registry.enabled:
                     registry.counter("parallel.worker_busy_seconds").inc(
@@ -239,6 +282,7 @@ def _worker_main(conn, trainer: "Trainer", params: list, index: int,
                 payload = fault_transform(
                     reply_site, (loss_sum, [p.grad for p in params], delta)
                 )
+                spans = drain_spans()
                 if shm is not None:
                     loss_sum, grads, delta = payload
                     for i, (param, grad) in enumerate(zip(params, grads)):
@@ -250,10 +294,14 @@ def _worker_main(conn, trainer: "Trainer", params: list, index: int,
                             np.copyto(grad_views[i], grad)
                     loss_out[0] = loss_sum
                     fault_point(f"parallel.worker{index}.shm.commit")
-                    conn.send((_OK, delta))
+                    conn.send((_OK, delta, spans))
                 else:
-                    conn.send((_OK, payload))
+                    conn.send((_OK, payload, spans))
             except Exception as exc:  # surface worker errors in the parent
+                # A failed task's spans never ship: the parent recovers
+                # the shard itself and its recovery span replaces them —
+                # emitting both would double-count the work.
+                discard_spans()
                 conn.send((_ERROR, f"{type(exc).__name__}: {exc}"))
     except (EOFError, KeyboardInterrupt, BrokenPipeError):
         pass
@@ -299,6 +347,7 @@ class GradientWorkerPool:
         self._schedule: list[np.ndarray] | None = None
         self._cursor = 0
         self._has_schedule = [False] * num_workers
+        self._epoch_ctx: tuple | None = None
 
         # Arenas (shm transport only; _build_arenas may fall back).
         self._param_arena: SharedArena | None = None
@@ -431,7 +480,7 @@ class GradientWorkerPool:
         self._has_schedule[index] = False
         if self._schedule is not None:
             try:
-                parent_conn.send(("epoch", self._schedule))
+                parent_conn.send(("epoch", self._schedule, self._epoch_ctx))
                 self._has_schedule[index] = True
             except (BrokenPipeError, OSError):  # caught again at next send
                 pass
@@ -494,7 +543,11 @@ class GradientWorkerPool:
         self._schedule = [np.ascontiguousarray(batch) for batch in batches]
         self._cursor = 0
         self._epoch_phase_base = dict(self.phase_seconds)
-        msg = ("epoch", self._schedule)
+        # Publish the caller's trace context with the schedule: every
+        # scheduled shard span this epoch parents under it, so one
+        # ``("epoch", ...)`` message traces the whole epoch's fan-out.
+        self._epoch_ctx = _trace_ctx_tuple()
+        msg = ("epoch", self._schedule, self._epoch_ctx)
         for index, conn in enumerate(self._conns):
             if conn is None:
                 continue
@@ -509,6 +562,7 @@ class GradientWorkerPool:
         if self._schedule is None:
             return
         self._schedule = None
+        self._epoch_ctx = None
         self._has_schedule = [False] * self.num_workers
         registry = default_registry()
         if registry.enabled:
@@ -568,26 +622,27 @@ class GradientWorkerPool:
                 msg = ("go", self._cursor, scale)
                 self._cursor += 1
             else:  # schedule-free call (tests, ad-hoc batches)
-                msg = ("task", batch, scale)
+                msg = ("task", batch, scale, _trace_ctx_tuple())
             for index, conn in enumerate(self._conns):
                 if conn is None:  # lost in a previous batch, respawn failed
                     failed_send.add(index)
                     continue
                 try:
                     if msg[0] == "go" and not self._has_schedule[index]:
-                        conn.send(("epoch", self._schedule))
+                        conn.send(("epoch", self._schedule, self._epoch_ctx))
                         self._has_schedule[index] = True
                     conn.send(msg)
                 except (BrokenPipeError, OSError):
                     failed_send.add(index)
         else:
             datas = [param.data for param in self._params]
+            ctx = _trace_ctx_tuple()
             for index, (conn, shard) in enumerate(zip(self._conns, shards)):
                 if conn is None:
                     failed_send.add(index)
                     continue
                 try:
-                    conn.send(("ptask", datas, shard, scale))
+                    conn.send(("ptask", datas, shard, scale, ctx))
                 except (BrokenPipeError, OSError):
                     failed_send.add(index)
         serialize_seconds = time.perf_counter() - serialize_start
@@ -653,12 +708,14 @@ class GradientWorkerPool:
                     index, f"no reply within {self.reply_timeout}s", respawn=True
                 )
                 return None
-            status, body = conn.recv()
+            msg = conn.recv()
         except (EOFError, ConnectionResetError, OSError) as exc:
             self._worker_failed(
                 index, f"died mid-batch ({exc or 'EOF'})", respawn=True
             )
             return None
+        status, body = msg[0], msg[1]
+        spans = msg[2] if len(msg) > 2 else None
         if status != _OK:
             self._worker_failed(index, f"raised: {body}", respawn=False)
             return None
@@ -680,6 +737,11 @@ class GradientWorkerPool:
                 respawn=False,
             )
             return None
+        # Worker spans join the parent's stream only for results that
+        # are actually reduced: a rejected reply's shard is recomputed
+        # under a parent-side recovery span instead, so each unit of
+        # work appears in the trace exactly once.
+        emit_spans(spans)
         return payload
 
     def _worker_failed(self, index: int, reason: str, respawn: bool) -> None:
@@ -736,10 +798,11 @@ class GradientWorkerPool:
         upstream = np.asarray(scale)
         loss_sum = 0.0
         try:
-            for t in shard:
-                loss = self._trainer._sample_loss(int(t))
-                loss.backward(upstream)
-                loss_sum += loss.item()
+            with trace_span("parallel.recover", samples=int(len(shard))):
+                for t in shard:
+                    loss = self._trainer._sample_loss(int(t))
+                    loss.backward(upstream)
+                    loss_sum += loss.item()
             shard_grads = [param.grad for param in params]
         finally:
             for param, grad, buffer in zip(params, saved, saved_buffers):
@@ -750,6 +813,28 @@ class GradientWorkerPool:
                 param._accumulate(grad)
         default_registry().counter("parallel.shards_recovered").inc()
         return loss_sum
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def transport_summary(self) -> dict:
+        """JSON-able transport-health summary for run reports.
+
+        Mirrors the per-epoch ``parallel.epoch_phases`` event but over
+        the pool's whole lifetime, so the report CLI can show transport,
+        phase split and reduce/compute overlap without grepping the
+        JSONL stream.
+        """
+        phases = dict(self.phase_seconds)
+        window = phases["compute_wait"] + phases["reduce"]
+        overlap = phases["reduce"] / window if window > 0 else 0.0
+        return {
+            "transport": self.transport,
+            "workers": self.num_workers,
+            "degraded": self._degraded,
+            "phase_seconds": {k: round(v, 6) for k, v in phases.items()},
+            "overlap_ratio": round(overlap, 6),
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle

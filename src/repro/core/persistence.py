@@ -49,6 +49,7 @@ from repro.nn import Module
 
 _CONFIG_KEY = "__config_json__"
 _SCHEMA_KEY = "__schema_version__"
+_QUALITY_KEY = "__quality_baseline__"
 
 #: Current checkpoint schema. Bump when the on-disk layout changes in a
 #: way old readers cannot interpret; readers reject any other version.
@@ -57,7 +58,7 @@ SCHEMA_VERSION = 1
 #: Current training-snapshot schema (independent of the checkpoint one).
 SNAPSHOT_VERSION = 1
 
-_META_KEYS = (_CONFIG_KEY, _SCHEMA_KEY)
+_META_KEYS = (_CONFIG_KEY, _SCHEMA_KEY, _QUALITY_KEY)
 
 #: Exceptions that mean "the file is not a readable npz archive". numpy
 #: raises ValueError for non-zip garbage, zipfile/zlib surface
@@ -153,8 +154,15 @@ def checkpoint_schema_version(path: str | Path) -> int | None:
         return int(bundle[_SCHEMA_KEY])
 
 
-def save_checkpoint(model: Module, path: str | Path) -> None:
-    """Atomically write a module's parameters (and config) to ``.npz``."""
+def save_checkpoint(
+    model: Module, path: str | Path, quality_baseline=None
+) -> None:
+    """Atomically write a module's parameters (and config) to ``.npz``.
+
+    ``quality_baseline`` (a :class:`repro.obs.quality.QualityBaseline`)
+    embeds the training-time error level so a serving process loading
+    this checkpoint can monitor drift against it out of the box.
+    """
     path = Path(path)
     arrays = dict(model.state_dict())
     config = getattr(model, "config", None)
@@ -162,6 +170,10 @@ def save_checkpoint(model: Module, path: str | Path) -> None:
         config_json = json.dumps(dataclasses.asdict(config))
         arrays[_CONFIG_KEY] = np.frombuffer(
             config_json.encode("utf-8"), dtype=np.uint8
+        ).copy()
+    if quality_baseline is not None:
+        arrays[_QUALITY_KEY] = np.frombuffer(
+            quality_baseline.to_json().encode("utf-8"), dtype=np.uint8
         ).copy()
     arrays[_SCHEMA_KEY] = np.asarray(SCHEMA_VERSION, dtype=np.int64)
     _atomic_savez(path, arrays)
@@ -186,6 +198,22 @@ def load_config(path: str | Path) -> STGNNDJDConfig:
             raise KeyError(f"checkpoint {path} carries no model config")
         raw = bytes(bundle[_CONFIG_KEY]).decode("utf-8")
     return STGNNDJDConfig(**json.loads(raw))
+
+
+def load_quality_baseline(path: str | Path):
+    """The training-time quality baseline embedded in a checkpoint.
+
+    Returns a :class:`repro.obs.quality.QualityBaseline` or ``None``
+    when the checkpoint predates (or was saved without) one.
+    """
+    from repro.obs.quality import QualityBaseline
+
+    with _open_checkpoint(path) as bundle:
+        _check_schema(bundle, path)
+        if _QUALITY_KEY not in bundle.files:
+            return None
+        raw = bytes(bundle[_QUALITY_KEY]).decode("utf-8")
+    return QualityBaseline.from_json(raw)
 
 
 def load_stgnn(path: str | Path) -> STGNNDJD:

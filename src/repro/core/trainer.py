@@ -44,6 +44,7 @@ from repro.faults import fault_point
 from repro.nn import joint_demand_supply_loss, mse_loss
 from repro.obs import ObservabilityConfig, RunRecorder, span
 from repro.obs.registry import default_registry
+from repro.obs.trace import trace_span
 from repro.optim import Adam, clip_grad_norm
 from repro.tensor import Tensor, inference_mode
 from repro.utils import get_logger
@@ -244,49 +245,53 @@ class Trainer:
             reply_timeout=self.config.worker_reply_timeout_seconds,
             transport=self.config.transport,
         )
+        created_pool = pool
         try:
-            for epoch in range(start_epoch, epochs):
-                fault_point("trainer.epoch")
-                if pool is not None and not pool.active:
-                    # The pool degraded mid-run (a worker died and could
-                    # not be respawned); finish the fit serially.
-                    pool.close()
-                    pool = None
-                with span("epoch", epoch=epoch):
-                    epoch_loss = self._run_epoch(train_idx, pool)
-                    val_loss = self.validation_loss(val_idx)
-                history.train_loss.append(epoch_loss)
-                history.val_loss.append(val_loss)
-                if recorder is not None:
-                    stats = self._epoch_stats
-                    recorder.record_epoch(
-                        epoch,
-                        epoch_loss,
-                        val_loss,
-                        grad_norm=stats.get("grad_norm"),
-                        samples_per_sec=stats.get("samples_per_sec"),
-                        learning_rate=self.optimizer.lr,
-                        seconds=stats.get("seconds"),
-                    )
-                if self.config.verbose:
-                    logger.info(
-                        "epoch %d: train=%.4f val=%.4f", epoch, epoch_loss, val_loss
-                    )
-                if val_loss < best_val - 1e-6:
-                    best_val = val_loss
-                    history.best_epoch = epoch
-                    self._best_state = self.model.state_dict()
-                    bad_epochs = 0
-                else:
-                    bad_epochs += 1
-                    if bad_epochs >= self.config.patience:
-                        history.stopped_early = True
-                        break
-                if self.config.snapshot_path is not None:
-                    self._save_snapshot(
-                        self.config.snapshot_path, epoch, history,
-                        best_val, bad_epochs,
-                    )
+            with trace_span("trainer.fit", epochs=epochs,
+                            workers=self.config.workers):
+                for epoch in range(start_epoch, epochs):
+                    fault_point("trainer.epoch")
+                    if pool is not None and not pool.active:
+                        # The pool degraded mid-run (a worker died and could
+                        # not be respawned); finish the fit serially.
+                        pool.close()
+                        pool = None
+                    with span("epoch", epoch=epoch), \
+                            trace_span("trainer.epoch", epoch=epoch):
+                        epoch_loss = self._run_epoch(train_idx, pool)
+                        val_loss = self.validation_loss(val_idx)
+                    history.train_loss.append(epoch_loss)
+                    history.val_loss.append(val_loss)
+                    if recorder is not None:
+                        stats = self._epoch_stats
+                        recorder.record_epoch(
+                            epoch,
+                            epoch_loss,
+                            val_loss,
+                            grad_norm=stats.get("grad_norm"),
+                            samples_per_sec=stats.get("samples_per_sec"),
+                            learning_rate=self.optimizer.lr,
+                            seconds=stats.get("seconds"),
+                        )
+                    if self.config.verbose:
+                        logger.info(
+                            "epoch %d: train=%.4f val=%.4f", epoch, epoch_loss, val_loss
+                        )
+                    if val_loss < best_val - 1e-6:
+                        best_val = val_loss
+                        history.best_epoch = epoch
+                        self._best_state = self.model.state_dict()
+                        bad_epochs = 0
+                    else:
+                        bad_epochs += 1
+                        if bad_epochs >= self.config.patience:
+                            history.stopped_early = True
+                            break
+                    if self.config.snapshot_path is not None:
+                        self._save_snapshot(
+                            self.config.snapshot_path, epoch, history,
+                            best_val, bad_epochs,
+                        )
         finally:
             if pool is not None:
                 pool.close()
@@ -297,6 +302,10 @@ class Trainer:
                     {"best_epoch": history.best_epoch,
                      "stopped_early": history.stopped_early},
                 )
+                if created_pool is not None:
+                    # Transport health: visible in the report CLI without
+                    # grepping the JSONL stream.
+                    recorder.attach("transport", created_pool.transport_summary())
                 recorder.finish()
 
         if self._best_state is not None:
@@ -326,26 +335,27 @@ class Trainer:
         if epoch_pool is not None and epoch_pool.active:
             epoch_pool.begin_epoch(batches)
         try:
-            for batch in batches:
-                fault_point("trainer.batch")
-                self.optimizer.zero_grad()
-                if pool is not None and not pool.active:
-                    pool = None  # degraded mid-epoch: finish serially
-                if pool is not None:
-                    batch_loss = pool.accumulate_gradients(batch, 1.0 / len(batch))
-                else:
-                    batch_loss = 0.0
-                    for t in batch:
-                        loss = self._sample_loss(int(t))
-                        # Average gradients over the batch: scale each sample's
-                        # upstream gradient by 1/batch instead of rescaling later.
-                        loss.backward(np.asarray(1.0 / len(batch)))
-                        batch_loss += loss.item()
-                norm_sum += clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
-                self.optimizer.step()
-                total += batch_loss / len(batch)
-                count += 1
-                samples += len(batch)
+            for k, batch in enumerate(batches):
+                with trace_span("trainer.batch", batch=k, size=len(batch)):
+                    fault_point("trainer.batch")
+                    self.optimizer.zero_grad()
+                    if pool is not None and not pool.active:
+                        pool = None  # degraded mid-epoch: finish serially
+                    if pool is not None:
+                        batch_loss = pool.accumulate_gradients(batch, 1.0 / len(batch))
+                    else:
+                        batch_loss = 0.0
+                        for t in batch:
+                            loss = self._sample_loss(int(t))
+                            # Average gradients over the batch: scale each sample's
+                            # upstream gradient by 1/batch instead of rescaling later.
+                            loss.backward(np.asarray(1.0 / len(batch)))
+                            batch_loss += loss.item()
+                    norm_sum += clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+                    self.optimizer.step()
+                    total += batch_loss / len(batch)
+                    count += 1
+                    samples += len(batch)
         finally:
             if epoch_pool is not None:
                 epoch_pool.end_epoch()
@@ -477,3 +487,41 @@ class Trainer:
             self._obs.gauge("pool.peak_outstanding").set(self._pool.peak_outstanding)
         self.model.train()
         return demand, supply
+
+    def quality_baseline(self, indices: np.ndarray | None = None):
+        """Training-time forecast-quality baseline for drift monitoring.
+
+        Runs :meth:`predict` over the validation split (or ``indices``)
+        and scores next-slot demand/supply against the raw observed
+        flows with the paper's :mod:`repro.eval.metrics` — the same
+        functions the serving-side :class:`~repro.obs.quality.QualityMonitor`
+        applies to reconciled live forecasts, so the two numbers are
+        directly comparable. Embed the result in a checkpoint via
+        :func:`repro.core.persistence.save_checkpoint` and the serving
+        stack picks it up as its drift reference.
+        """
+        from repro.eval import metrics as paper_metrics
+        from repro.obs.quality import QualityBaseline
+
+        if indices is None:
+            _, indices, _ = self.dataset.split_indices()
+        indices = self._usable(np.asarray(indices))
+        if len(indices) == 0:
+            raise ValueError("quality_baseline needs at least one sample")
+        true_d, pred_d, true_s, pred_s = [], [], [], []
+        for t in indices:
+            t = int(t)
+            demand, supply = self.predict(t)
+            if demand.ndim == 2:  # multi-step: score the h=0 column
+                demand, supply = demand[:, 0], supply[:, 0]
+            pred_d.append(demand)
+            pred_s.append(supply)
+            true_d.append(self.dataset.demand[t])
+            true_s.append(self.dataset.supply[t])
+        td, pd = np.stack(true_d), np.stack(pred_d)
+        ts, ps = np.stack(true_s), np.stack(pred_s)
+        return QualityBaseline(
+            rmse=float(paper_metrics.rmse(td, pd, ts, ps)),
+            mae=float(paper_metrics.mae(td, pd, ts, ps)),
+            samples=int(len(indices)),
+        )

@@ -27,6 +27,7 @@ site                            where / what it models
 ``state.ingest``                per trip event entering the flow store
 ``state.clock``                 transform: skew an event's (start, end) times
 ``state.rollover``              slot rollover in the flow store
+``quality.reconcile``           quality monitor folding a closed slot's forecasts
 ==============================  =================================================
 """
 

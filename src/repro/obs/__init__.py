@@ -12,10 +12,19 @@ pillars:
   the parent :meth:`~repro.obs.registry.Registry.merge`\\ s the delta, so
   parallel counters equal serial ones.
 * **tracing/profiling** (:mod:`repro.obs.spans`,
-  :mod:`repro.obs.profiler`) — nestable :func:`span` timings for run
-  structure, and :func:`profile` for per-op call counts / wall time /
-  bytes over the backend op registry, installed only for the duration
-  of the ``with`` block.
+  :mod:`repro.obs.trace`, :mod:`repro.obs.profiler`) — nestable
+  :func:`span` timings for run structure; distributed request tracing
+  (:func:`trace_span`, W3C ``traceparent`` propagation, fork-safe
+  worker span merge, ``python -m repro.obs.trace`` timeline
+  reconstruction); and :func:`profile` for per-op call counts / wall
+  time / bytes over the backend op registry, installed only for the
+  duration of the ``with`` block.
+* **quality/SLOs** (:mod:`repro.obs.quality`, :mod:`repro.obs.slo`) —
+  continuous forecast-quality monitoring (forecasts reconciled against
+  realized flows, rolling RMSE/MAE that bit-match
+  :mod:`repro.eval.metrics`, drift detection against a
+  checkpoint-embedded baseline) and declarative service-level
+  objectives evaluated from the live registry.
 * **exporters and reports** (:mod:`repro.obs.events`,
   :mod:`repro.obs.prometheus`, :mod:`repro.obs.report`) — a JSONL event
   stream, a Prometheus-style text exposition for serving scrapes, and
@@ -56,6 +65,23 @@ from repro.obs.events import (
     validate_event,
 )
 from repro.obs.spans import current_span, span, span_stack
+from repro.obs.trace import (
+    TRACEPARENT_HEADER,
+    TraceConfig,
+    TraceContext,
+    current_context,
+    enable_tracing,
+    format_traceparent,
+    parse_traceparent,
+    record_span,
+    seed_trace_ids,
+    trace_scope,
+    trace_span,
+    trace_status,
+    tracing_enabled,
+)
+from repro.obs.quality import QualityBaseline, QualityConfig, QualityMonitor
+from repro.obs.slo import SLOConfig, evaluate_slos, histogram_quantile
 from repro.obs.profiler import FUSED_OPS, OpProfile, OpStat, profile
 from repro.obs.prometheus import prometheus_text
 from repro.obs.report import EpochRecord, RunReport, render_report
@@ -87,6 +113,26 @@ __all__ = [
     "span",
     "span_stack",
     "current_span",
+    "TRACEPARENT_HEADER",
+    "TraceConfig",
+    "TraceContext",
+    "current_context",
+    "enable_tracing",
+    "format_traceparent",
+    "parse_traceparent",
+    "record_span",
+    "seed_trace_ids",
+    "trace_scope",
+    "trace_span",
+    "trace_status",
+    "tracing_enabled",
+    # quality / SLOs
+    "QualityBaseline",
+    "QualityConfig",
+    "QualityMonitor",
+    "SLOConfig",
+    "evaluate_slos",
+    "histogram_quantile",
     "profile",
     "OpProfile",
     "OpStat",

@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import contextlib
 import json
+import threading
 import time
 from pathlib import Path
 from typing import IO, Iterator
+
+from repro.obs.registry import default_registry
 
 #: Closed set of event kinds; extend deliberately, never ad hoc.
 EVENT_KINDS = ("run_start", "epoch", "run_end", "span", "metric", "event")
@@ -69,30 +72,95 @@ def validate_event(event: object) -> dict:
 
 
 class JsonlExporter:
-    """Append-only JSONL event writer.
+    """Append-only JSONL event writer with bounded-size rotation.
 
     Lines are flushed per event — a crashed run keeps everything emitted
     up to the failure, which is exactly when the stream matters most.
+
+    ``max_bytes`` / ``max_lines`` bound the stream for long-lived
+    processes (a serving box cannot append forever): when the current
+    file would exceed a limit it is renamed to ``<path>.1`` (replacing,
+    and thereby destroying, any previous ``.1``) and a fresh file is
+    started, so at most two generations exist on disk. Events destroyed
+    with an old ``.1`` are counted in the ``obs.events_dropped``
+    counter — truncation is visible, never silent. With both limits
+    ``None`` (the default) behaviour is the original unbounded append.
+
+    Thread-safe: serving handler threads, the dispatcher, and rollover
+    listeners all emit concurrently.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, max_bytes: int | None = None,
+                 max_lines: int | None = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if max_lines is not None and max_lines < 1:
+            raise ValueError(f"max_lines must be >= 1, got {max_lines}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.max_lines = max_lines
+        self.rotations = 0
+        self._lock = threading.Lock()
+        self._dropped_counter = default_registry().counter("obs.events_dropped")
+        self._bytes = 0
+        self._lines = 0
+        if self.path.exists() and (max_bytes is not None or max_lines is not None):
+            # Appending to an existing stream: its current size counts
+            # against the bound.
+            self._bytes = self.path.stat().st_size
+            if max_lines is not None:
+                with self.path.open("rb") as fh:
+                    self._lines = sum(1 for _ in fh)
         self._file: IO[str] | None = self.path.open("a", encoding="utf-8")
+
+    @property
+    def rotated_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".1")
+
+    def _would_exceed(self, nbytes: int) -> bool:
+        if self.max_bytes is not None and self._bytes + nbytes > self.max_bytes:
+            return self._bytes > 0  # never rotate an empty file
+        if self.max_lines is not None and self._lines + 1 > self.max_lines:
+            return True
+        return False
+
+    def _rotate(self) -> None:
+        # Called under self._lock. The outgoing .1 generation (if any)
+        # is destroyed — count its lines as dropped first.
+        rotated = self.rotated_path
+        if rotated.exists():
+            with rotated.open("rb") as fh:
+                destroyed = sum(1 for _ in fh)
+            if destroyed:
+                self._dropped_counter.inc(destroyed)
+        self._file.close()
+        self.path.replace(rotated)
+        self._file = self.path.open("a", encoding="utf-8")
+        self._bytes = 0
+        self._lines = 0
+        self.rotations += 1
 
     def emit(self, kind: str, name: str, **data) -> dict:
         """Write (and return) one event. Raises if the exporter is closed."""
-        if self._file is None:
-            raise RuntimeError(f"exporter for {self.path} is closed")
         event = make_event(kind, name, data)
-        self._file.write(json.dumps(event) + "\n")
-        self._file.flush()
+        line = json.dumps(event) + "\n"
+        with self._lock:
+            if self._file is None:
+                raise RuntimeError(f"exporter for {self.path} is closed")
+            if self._would_exceed(len(line)):
+                self._rotate()
+            self._file.write(line)
+            self._file.flush()
+            self._bytes += len(line)
+            self._lines += 1
         return event
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
     def __enter__(self) -> "JsonlExporter":
         return self

@@ -25,6 +25,7 @@ from pathlib import Path
 from repro.obs.events import JsonlExporter, set_sink
 from repro.obs.registry import default_registry
 from repro.obs.report import EpochRecord, RunReport
+from repro.obs.trace import TraceConfig, enable_tracing
 
 _RUN_SEQ = 0
 
@@ -45,10 +46,23 @@ class ObservabilityConfig:
     run_id: str | None = None
     #: Write the JSONL event stream (the report is always written).
     events: bool = True
+    #: Rotate the event stream beyond this size (None = unbounded).
+    events_max_bytes: int | None = None
+    #: Also record trace spans for the run: the recorder enables
+    #: tracing *before* the worker pool forks (so workers inherit the
+    #: flag and ship their spans home with each reply) and restores the
+    #: previous state in :meth:`RunRecorder.finish`. Requires
+    #: ``events`` — spans need a sink to land in.
+    trace: bool = False
+    #: Fraction of root traces recorded when ``trace`` is on.
+    trace_sample: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.out_dir:
             raise ValueError("out_dir must be a non-empty path")
+        if self.trace and not self.events:
+            raise ValueError("trace=True requires events=True "
+                             "(spans export to the event stream)")
 
 
 class RunRecorder:
@@ -76,10 +90,19 @@ class RunRecorder:
         self.registry.enabled = True
         self._exporter: JsonlExporter | None = None
         self._prev_sink = None
+        self._prev_trace = None
+        self._trace_enabled = False
         if config.events:
-            self._exporter = JsonlExporter(self.events_path)
+            self._exporter = JsonlExporter(
+                self.events_path, max_bytes=config.events_max_bytes
+            )
             self._prev_sink = set_sink(self._exporter)
             self._exporter.emit("run_start", self.run_id, config=self.report.config)
+        if config.trace:
+            self._prev_trace = enable_tracing(
+                TraceConfig(sample_rate=config.trace_sample)
+            )
+            self._trace_enabled = True
 
     def record_epoch(
         self,
@@ -115,6 +138,11 @@ class RunRecorder:
         if self._finished:
             return self.report
         self._finished = True
+        if self._trace_enabled:
+            enable_tracing(
+                self._prev_trace if self._prev_trace is not None else False
+            )
+            self._trace_enabled = False
         self.report.metrics = self.registry.snapshot()
         if self._exporter is not None:
             self._exporter.emit(

@@ -1,0 +1,158 @@
+"""Declarative service-level objectives evaluated from live metrics.
+
+An :class:`SLOConfig` names the targets (p99 latency, staleness ratio,
+error-budget burn, drift ratio); :func:`evaluate_slos` reads the
+current metric registry (and optionally a
+:class:`~repro.obs.quality.QualityMonitor`) and returns a structured
+health verdict — the payload behind serving's ``/status`` endpoint.
+
+Quantiles come from the registry's fixed-bucket histograms via
+:func:`histogram_quantile`, the standard cumulative-bucket walk
+(same estimator Prometheus' ``histogram_quantile`` uses): the reported
+pXX is the upper bound of the first bucket whose cumulative count
+reaches the quantile rank — conservative (never under-reports) and
+exact when observations quantize to bucket edges.
+
+Objectives with no data yet (no requests served, no quality window)
+evaluate as healthy with ``value: None`` — an idle service is not a
+burning one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.registry import Histogram, Registry, default_registry
+
+
+@dataclass(frozen=True, slots=True)
+class SLOConfig:
+    """Service-level objectives for the serving path.
+
+    ``p99_latency_seconds`` — ceiling for the request-latency p99.
+    ``max_staleness_ratio`` — stale-served / total requests ceiling.
+    ``error_budget`` — rejected (503) / total requests ceiling.
+    ``max_drift_ratio`` — quality drift-ratio ceiling (None: only
+    unhealthy once the quality monitor has actually flagged drift).
+    """
+
+    p99_latency_seconds: float = 0.25
+    max_staleness_ratio: float = 0.01
+    error_budget: float = 0.001
+    max_drift_ratio: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.p99_latency_seconds <= 0:
+            raise ValueError(
+                f"p99_latency_seconds must be > 0, got "
+                f"{self.p99_latency_seconds}"
+            )
+        if not 0.0 <= self.max_staleness_ratio <= 1.0:
+            raise ValueError(
+                f"max_staleness_ratio must be in [0, 1], got "
+                f"{self.max_staleness_ratio}"
+            )
+        if not 0.0 <= self.error_budget <= 1.0:
+            raise ValueError(
+                f"error_budget must be in [0, 1], got {self.error_budget}"
+            )
+        if self.max_drift_ratio is not None and self.max_drift_ratio <= 0:
+            raise ValueError(
+                f"max_drift_ratio must be > 0, got {self.max_drift_ratio}"
+            )
+
+
+def histogram_quantile(hist: Histogram, q: float) -> float | None:
+    """Estimate quantile ``q`` from a fixed-bucket histogram snapshot.
+
+    Returns the upper bound of the first bucket whose cumulative count
+    reaches ``q * count`` (the observed max for the +Inf bucket), or
+    ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = hist.count
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for i, bound in enumerate(hist.bounds):
+        cumulative += hist.bucket_counts[i]
+        if cumulative >= rank:
+            return bound
+    # +Inf bucket: the best finite statement is the observed maximum.
+    return hist.max
+
+
+def _objective(name: str, value: float | None, target: float,
+               comparison: str = "<=") -> dict:
+    healthy = True if value is None else value <= target
+    return {
+        "name": name,
+        "value": value,
+        "target": target,
+        "comparison": comparison,
+        "healthy": healthy,
+    }
+
+
+def evaluate_slos(config: SLOConfig | None = None,
+                  registry: Registry | None = None,
+                  quality=None) -> dict:
+    """Evaluate the SLOs against live metrics.
+
+    Returns ``{"healthy": bool, "objectives": [...]}`` where each
+    objective carries its name, current value (None when no data),
+    target, and per-objective verdict.
+    """
+    config = config or SLOConfig()
+    reg = registry or default_registry()
+    metrics = reg.metrics()
+
+    def counter_value(name: str) -> float:
+        metric = metrics.get(name)
+        return metric.value if metric is not None and metric.kind == "counter" else 0
+
+    objectives = []
+
+    p99 = None
+    latency = metrics.get("serve.request_seconds")
+    if isinstance(latency, Histogram) and latency.count > 0:
+        p99 = histogram_quantile(latency, 0.99)
+    objectives.append(
+        _objective("p99_latency_seconds", p99, config.p99_latency_seconds)
+    )
+
+    requests = counter_value("serve.requests")
+    stale = counter_value("serve.stale_served")
+    staleness = (stale / requests) if requests else None
+    objectives.append(
+        _objective("staleness_ratio", staleness, config.max_staleness_ratio)
+    )
+
+    rejected = counter_value("serve.rejected")
+    burn = (rejected / (requests + rejected)) if (requests + rejected) else None
+    objectives.append(
+        _objective("error_budget_burn", burn, config.error_budget)
+    )
+
+    if quality is not None:
+        ratio = quality.drift_ratio()
+        if config.max_drift_ratio is not None:
+            objectives.append(
+                _objective("drift_ratio", ratio, config.max_drift_ratio)
+            )
+        else:
+            drifting = getattr(quality, "_drifting", False)
+            objectives.append({
+                "name": "drift_ratio",
+                "value": ratio,
+                "target": None,
+                "comparison": "monitor",
+                "healthy": not drifting,
+            })
+
+    return {
+        "healthy": all(obj["healthy"] for obj in objectives),
+        "objectives": objectives,
+    }

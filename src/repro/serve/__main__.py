@@ -26,7 +26,11 @@ import argparse
 from repro.core.model import STGNNDJD
 from repro.core.persistence import load_stgnn
 from repro.data.synthetic import SyntheticCityConfig, generate_city
+from repro.obs.events import JsonlExporter, set_sink
+from repro.obs.quality import QualityConfig
 from repro.obs.registry import enable_metrics
+from repro.obs.slo import SLOConfig
+from repro.obs.trace import TraceConfig, enable_tracing
 from repro.serve.http import make_server
 from repro.serve.service import PredictionService, ServiceConfig
 from repro.utils import get_logger, set_global_level
@@ -64,6 +68,11 @@ def build_service(args: argparse.Namespace) -> PredictionService:
         queue_depth=args.queue_depth,
         checkpoint_path=args.checkpoint,
         reload_poll_seconds=args.reload_poll if args.checkpoint else None,
+        quality=(
+            QualityConfig(window=args.quality_window)
+            if args.quality else None
+        ),
+        slo=SLOConfig(p99_latency_seconds=args.slo_p99),
     )
     return PredictionService.for_dataset(model, dataset, config=config)
 
@@ -87,12 +96,36 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--queue-depth", type=int, default=256)
     parser.add_argument("--reload-poll", type=float, default=2.0,
                         help="checkpoint mtime poll interval, seconds")
+    parser.add_argument("--events", default=None, metavar="PATH",
+                        help="write the JSONL event stream (metrics "
+                             "events + trace spans) to this file")
+    parser.add_argument("--events-max-mb", type=float, default=64.0,
+                        help="rotate the events file beyond this size")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable request tracing (spans go to --events)")
+    parser.add_argument("--trace-sample", type=float, default=1.0,
+                        help="fraction of root traces recorded, 0..1")
+    parser.add_argument("--quality", action="store_true",
+                        help="enable continuous forecast-quality monitoring")
+    parser.add_argument("--quality-window", type=int, default=256,
+                        help="reconciled slots per rolling quality window")
+    parser.add_argument("--slo-p99", type=float, default=0.25,
+                        help="p99 request-latency objective, seconds")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
     if args.verbose:
         set_global_level("DEBUG")
     enable_metrics()
+    if args.events:
+        set_sink(JsonlExporter(
+            args.events,
+            max_bytes=int(args.events_max_mb * 1024 * 1024),
+        ))
+    if args.trace:
+        if not args.events:
+            parser.error("--trace requires --events (spans need a sink)")
+        enable_tracing(TraceConfig(sample_rate=args.trace_sample))
     service = build_service(args)
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]

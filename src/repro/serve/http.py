@@ -12,10 +12,20 @@ A :class:`ThreadingHTTPServer` whose handler threads feed a shared
   and supply for the frontier slot. ``503`` with a ``Retry-After``
   header when the admission queue rejects.
 * ``GET /healthz``   — liveness plus frontier/model-version/warm-up.
+* ``GET /status``    — operational summary: SLO health evaluated from
+  the live metrics, trace sampling state, quality windows.
 * ``GET /metrics``   — the ``repro.obs`` registry in Prometheus text
   format (:func:`repro.obs.prometheus.prometheus_text`).
 * ``POST /admin/reload`` — checkpoint hot-reload trigger; ``500`` with
   the error message (old model keeps serving) on failure.
+
+``/predict`` and ``/ingest`` speak W3C trace context: an incoming
+``traceparent`` header parents the request's span tree (a malformed or
+absent header starts a fresh root — never an error), and every response
+sent while a span is open carries the current span's ``traceparent``
+back to the caller. With tracing enabled, one request's JSONL spans
+reconstruct the full path — HTTP handling, queue wait, batch assembly,
+forward kernels, serialization — via ``python -m repro.obs.trace``.
 
 Request handling is deliberately thin: parse, delegate, serialize.
 Every serving decision (batching, backpressure, caching, reload
@@ -32,6 +42,13 @@ from urllib.parse import parse_qs, urlparse
 import numpy as np
 
 from repro.obs.prometheus import prometheus_text
+from repro.obs.trace import (
+    TRACEPARENT_HEADER,
+    current_context,
+    format_traceparent,
+    parse_traceparent,
+    trace_span,
+)
 from repro.serve.service import PredictionService, ServiceOverloaded
 from repro.utils import get_logger
 
@@ -60,10 +77,21 @@ class ServingHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        ctx = current_context()
+        if ctx is not None:
+            # Hand the caller our span context so client and server
+            # timelines join into one trace.
+            self.send_header(TRACEPARENT_HEADER, format_traceparent(ctx))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _span(self, name: str):
+        """A server span for this request, parented by the client's
+        ``traceparent`` header when present and well-formed."""
+        parent = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
+        return trace_span(name, parent=parent, method=self.command)
 
     def _read_json(self) -> dict | None:
         length = int(self.headers.get("Content-Length") or 0)
@@ -84,6 +112,8 @@ class ServingHandler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         if url.path == "/healthz":
             self._healthz()
+        elif url.path == "/status":
+            self._status()
         elif url.path == "/metrics":
             self._metrics()
         elif url.path == "/predict":
@@ -117,6 +147,9 @@ class ServingHandler(BaseHTTPRequestHandler):
             "reload_failed": service.reload_failed,
         })
 
+    def _status(self) -> None:
+        self._send_json(200, self.server.service.status())
+
     def _metrics(self) -> None:
         body = prometheus_text().encode("utf-8")
         self.send_response(200)
@@ -126,68 +159,75 @@ class ServingHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _ingest(self) -> None:
-        payload = self._read_json()
-        if payload is None:
-            return
-        trips = payload.get("trips", [payload] if payload else [])
-        if not isinstance(trips, list):
-            self._send_json(400, {"error": "'trips' must be a list"})
-            return
-        store = self.server.service.store
-        accepted = dropped = 0
-        try:
-            for trip in trips:
-                ok = store.ingest_event(
-                    int(trip["origin"]),
-                    int(trip["destination"]),
-                    float(trip["start_time"]),
-                    float(trip["end_time"]),
-                )
-                accepted += ok
-                dropped += not ok
-        except (KeyError, TypeError):
-            self._send_json(400, {
-                "error": "each trip needs origin, destination, start_time, end_time"
+        with self._span("http.ingest") as span:
+            payload = self._read_json()
+            if payload is None:
+                return
+            trips = payload.get("trips", [payload] if payload else [])
+            if not isinstance(trips, list):
+                self._send_json(400, {"error": "'trips' must be a list"})
+                return
+            store = self.server.service.store
+            accepted = dropped = 0
+            try:
+                for trip in trips:
+                    ok = store.ingest_event(
+                        int(trip["origin"]),
+                        int(trip["destination"]),
+                        float(trip["start_time"]),
+                        float(trip["end_time"]),
+                    )
+                    accepted += ok
+                    dropped += not ok
+            except (KeyError, TypeError):
+                self._send_json(400, {
+                    "error": "each trip needs origin, destination, start_time, end_time"
+                })
+                return
+            except ValueError as error:
+                self._send_json(400, {"error": str(error)})
+                return
+            span.set(status=200, accepted=accepted, dropped_late=dropped)
+            self._send_json(200, {
+                "accepted": accepted,
+                "dropped_late": dropped,
+                "frontier": store.frontier,
             })
-            return
-        except ValueError as error:
-            self._send_json(400, {"error": str(error)})
-            return
-        self._send_json(200, {
-            "accepted": accepted,
-            "dropped_late": dropped,
-            "frontier": store.frontier,
-        })
 
     def _predict(self, stations) -> None:
-        if stations is not None:
+        with self._span("http.predict") as span:
+            if stations is not None:
+                try:
+                    stations = [int(s) for s in stations]
+                except (TypeError, ValueError):
+                    self._send_json(400, {"error": "'stations' must be a list of ids"})
+                    return
+            service = self.server.service
             try:
-                stations = [int(s) for s in stations]
-            except (TypeError, ValueError):
-                self._send_json(400, {"error": "'stations' must be a list of ids"})
+                forecast = service.predict(stations)
+            except ServiceOverloaded as error:
+                span.set(status=503)
+                self._send_json(
+                    503,
+                    {"error": str(error), "retry_after": error.retry_after},
+                    headers={"Retry-After": f"{error.retry_after:.3f}"},
+                )
                 return
-        service = self.server.service
-        try:
-            forecast = service.predict(stations)
-        except ServiceOverloaded as error:
-            self._send_json(
-                503,
-                {"error": str(error), "retry_after": error.retry_after},
-                headers={"Retry-After": f"{error.retry_after:.3f}"},
-            )
-            return
-        except (ValueError, IndexError) as error:
-            self._send_json(400, {"error": str(error)})
-            return
-        self._send_json(200, {
-            "slot": forecast.slot,
-            "stations": np.asarray(forecast.stations).tolist(),
-            "demand": forecast.demand.tolist(),
-            "supply": forecast.supply.tolist(),
-            "model_version": forecast.model_version,
-            "cached": forecast.cached,
-            "stale": forecast.stale,
-        })
+            except (ValueError, IndexError) as error:
+                span.set(status=400)
+                self._send_json(400, {"error": str(error)})
+                return
+            span.set(status=200, cached=forecast.cached, stale=forecast.stale)
+            with trace_span("http.serialize", stations=len(forecast.stations)):
+                self._send_json(200, {
+                    "slot": forecast.slot,
+                    "stations": np.asarray(forecast.stations).tolist(),
+                    "demand": forecast.demand.tolist(),
+                    "supply": forecast.supply.tolist(),
+                    "model_version": forecast.model_version,
+                    "cached": forecast.cached,
+                    "stale": forecast.stale,
+                })
 
     def _reload(self) -> None:
         payload = self._read_json()

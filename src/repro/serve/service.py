@@ -56,11 +56,22 @@ import numpy as np
 
 from repro import backend
 from repro.core.model import STGNNDJD
-from repro.core.persistence import load_stgnn
+from repro.core.persistence import load_quality_baseline, load_stgnn
 from repro.data.dataset import BikeShareDataset
 from repro.data.normalize import MinMaxNormalizer
 from repro.faults import fault_point
+from repro.obs.profiler import profile
+from repro.obs.quality import QualityConfig, QualityMonitor
 from repro.obs.registry import default_registry
+from repro.obs.slo import SLOConfig, evaluate_slos
+from repro.obs.trace import (
+    current_context,
+    record_span,
+    trace_config,
+    trace_span,
+    trace_status,
+    tracing_enabled,
+)
 from repro.serve.state import FlowStateStore
 from repro.tensor import inference_mode
 from repro.utils import get_logger
@@ -97,7 +108,10 @@ class ServiceConfig:
     how long a caller blocks on its result. ``cache=False`` disables the
     per-slot forecast cache (used by the benchmark's unbatched
     baseline). ``checkpoint_path`` + ``reload_poll_seconds`` arm the
-    background checkpoint watcher.
+    background checkpoint watcher. ``quality`` arms continuous
+    forecast-quality monitoring (forecasts reconciled against realized
+    flows on slot rollover); ``slo`` declares the objectives the
+    ``/status`` endpoint evaluates.
     """
 
     max_batch: int = 64
@@ -108,6 +122,8 @@ class ServiceConfig:
     cache: bool = True
     checkpoint_path: str | None = None
     reload_poll_seconds: float | None = None
+    quality: QualityConfig | None = None
+    slo: SLOConfig | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -139,15 +155,26 @@ class Forecast:
 
 
 class _Request:
-    """A queued prediction request and its completion rendezvous."""
+    """A queued prediction request and its completion rendezvous.
 
-    __slots__ = ("stations", "done", "forecast", "error")
+    Carries the requester's trace context across the queue (contextvars
+    do not follow objects between threads) plus the enqueue/dequeue
+    stamps from which the queue-wait span is reconstructed after the
+    rendezvous completes.
+    """
+
+    __slots__ = ("stations", "done", "forecast", "error",
+                 "trace_ctx", "enqueued_ts", "enqueued_perf", "dequeued_perf")
 
     def __init__(self, stations: np.ndarray | None) -> None:
         self.stations = stations
         self.done = threading.Event()
         self.forecast: Forecast | None = None
         self.error: BaseException | None = None
+        self.trace_ctx = None
+        self.enqueued_ts = 0.0
+        self.enqueued_perf = 0.0
+        self.dequeued_perf = 0.0
 
 
 class PredictionService:
@@ -201,6 +228,12 @@ class PredictionService:
         self._reload_errors = obs.counter("serve.reload_errors")
         self._stale_counter = obs.counter("serve.stale_served")
         self._request_timer = obs.timer("serve.request_seconds")
+        # Continuous quality monitoring: capture forecasts as they are
+        # issued and reconcile them when the store closes their slot.
+        self.quality: QualityMonitor | None = None
+        if self.config.quality is not None:
+            self.quality = QualityMonitor(self.config.quality, registry=obs)
+            store.add_rollover_listener(self.quality.on_rollover)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -237,11 +270,25 @@ class PredictionService:
         supply_normalizer: MinMaxNormalizer,
         config: ServiceConfig | None = None,
     ) -> "PredictionService":
-        """Boot a service from a checkpoint file (schema-checked)."""
+        """Boot a service from a checkpoint file (schema-checked).
+
+        When quality monitoring is armed without an explicit baseline,
+        the training-time baseline embedded in the checkpoint (if any)
+        is adopted, so drift detection works out of the box.
+        """
         if config is None:
             config = ServiceConfig(checkpoint_path=str(path))
         elif config.checkpoint_path is None:
             config = dataclasses.replace(config, checkpoint_path=str(path))
+        if config.quality is not None and config.quality.baseline is None:
+            baseline = load_quality_baseline(path)
+            if baseline is not None:
+                config = dataclasses.replace(
+                    config,
+                    quality=dataclasses.replace(
+                        config.quality, baseline=baseline
+                    ),
+                )
         service = cls(
             load_stgnn(path), store, demand_normalizer, supply_normalizer, config
         )
@@ -280,6 +327,28 @@ class PredictionService:
     def reload_failed(self) -> bool:
         """Whether the newest reload attempt failed (weights lag the disk)."""
         return self._reload_failed
+
+    def status(self) -> dict:
+        """Operational summary: SLO health, tracing, quality windows.
+
+        The JSON body behind ``GET /status``. SLOs are evaluated from
+        the live metric registry against ``config.slo`` (defaults when
+        unset); quality is ``None`` until monitoring is armed.
+        """
+        slo = evaluate_slos(
+            self.config.slo, registry=self._obs, quality=self.quality
+        )
+        return {
+            "status": "ok" if slo["healthy"] else "degraded",
+            "frontier": self.store.frontier,
+            "warmed_up": self.store.warmed_up,
+            "model_version": self._model_version,
+            "dispatcher_running": self.running,
+            "reload_failed": self._reload_failed,
+            "slo": slo,
+            "trace": trace_status(),
+            "quality": None if self.quality is None else self.quality.snapshot(),
+        }
 
     def start(self) -> "PredictionService":
         """Spawn the dispatcher (and the checkpoint watcher, if armed)."""
@@ -354,6 +423,16 @@ class PredictionService:
             self._request_timer.observe(time.perf_counter() - start)
             return forecast
         request = _Request(stations_idx)
+        if tracing_enabled():
+            ctx = current_context()
+            if ctx is not None and ctx.sampled:
+                # Stamp the enqueue so the queue-wait interval can be
+                # recorded as a span once the dispatcher has answered.
+                # Unsampled (or context-free) requests skip the clock
+                # reads entirely — they could never record the span.
+                request.trace_ctx = ctx
+                request.enqueued_ts = time.time()
+                request.enqueued_perf = time.perf_counter()
         try:
             self._queue.put_nowait(request)
         except queue.Full:
@@ -364,6 +443,11 @@ class PredictionService:
         timeout = self.config.request_timeout_seconds if timeout is None else timeout
         if not request.done.wait(timeout):
             raise ServiceError(f"request timed out after {timeout}s")
+        if request.trace_ctx is not None and request.dequeued_perf:
+            record_span(
+                "serve.queue", request.trace_ctx, request.enqueued_ts,
+                request.dequeued_perf - request.enqueued_perf,
+            )
         if request.error is not None:
             raise request.error
         self._request_timer.observe(time.perf_counter() - start)
@@ -380,6 +464,9 @@ class PredictionService:
                 continue
             if first is None:
                 continue
+            assemble_ts = time.time()
+            assemble_perf = time.perf_counter()
+            first.dequeued_perf = assemble_perf
             batch = [first]
             deadline = time.monotonic() + self.config.batch_wait_seconds
             while len(batch) < self.config.max_batch:
@@ -394,6 +481,7 @@ class PredictionService:
                     break
                 if nxt is None:
                     break
+                nxt.dequeued_perf = time.perf_counter()
                 batch.append(nxt)
             self._batch_size_hist.observe(len(batch))
             if self._obs.enabled:
@@ -401,17 +489,31 @@ class PredictionService:
             # One reference for the whole batch: a concurrent reload
             # swaps self._model but cannot affect these requests.
             model, version = self._model, self._model_version
-            try:
-                fault_point("serve.dispatch")
-                full = self._full_forecast(model, version)
-            except BaseException as error:  # noqa: BLE001 - forwarded to callers
+            # The batch span is a root of its own trace *linking* every
+            # request span it serves — one forward pass attributed to N
+            # requests without picking one of them as the parent.
+            links = tuple(r.trace_ctx for r in batch if r.trace_ctx is not None)
+            with trace_span("serve.batch", parent=None, links=links,
+                            batch_size=len(batch)) as batch_span:
+                record_span(
+                    "serve.assemble", batch_span.ctx, assemble_ts,
+                    time.perf_counter() - assemble_perf,
+                    batch_size=len(batch),
+                )
+                try:
+                    fault_point("serve.dispatch")
+                    full = self._full_forecast(model, version)
+                except BaseException as error:  # noqa: BLE001 - forwarded to callers
+                    batch_span.set(outcome="error", error=type(error).__name__)
+                    for request in batch:
+                        request.error = error
+                        request.done.set()
+                    continue
+                batch_span.set(outcome="ok", slot=full.slot,
+                               cached=full.cached, stale=full.stale)
                 for request in batch:
-                    request.error = error
+                    request.forecast = self._subset(full, request.stations)
                     request.done.set()
-                continue
-            for request in batch:
-                request.forecast = self._subset(full, request.stations)
-                request.done.set()
 
     def _answer(
         self, model: STGNNDJD, version: int, stations: np.ndarray | None
@@ -453,10 +555,33 @@ class PredictionService:
         try:
             fault_point("serve.forecast")
             sample = store.sample()
-            with inference_mode(), backend.buffer_scope(self._pool):
-                demand_pred, supply_pred = model(sample)
-                demand = self.demand_normalizer.inverse_transform(demand_pred.data)
-                supply = self.supply_normalizer.inverse_transform(supply_pred.data)
+            with trace_span("serve.forward", slot=sample.t) as forward_span:
+                config = trace_config()
+                profiled = (
+                    forward_span.ctx is not None
+                    and forward_span.recorded
+                    and config is not None
+                    and config.profile_ops
+                )
+                with inference_mode(), backend.buffer_scope(self._pool):
+                    if profiled:
+                        # Per-op kernel timing, only on sampled traces:
+                        # profile() swap-installs op wrappers, so the
+                        # cost is paid per sampled forward, not per call.
+                        with profile() as prof:
+                            demand_pred, supply_pred = model(sample)
+                        top = sorted(prof.stats.items(),
+                                     key=lambda kv: kv[1].seconds,
+                                     reverse=True)[:6]
+                        forward_span.set(ops={
+                            name: {"calls": s.calls,
+                                   "seconds": round(s.seconds, 6)}
+                            for name, s in top
+                        })
+                    else:
+                        demand_pred, supply_pred = model(sample)
+                    demand = self.demand_normalizer.inverse_transform(demand_pred.data)
+                    supply = self.supply_normalizer.inverse_transform(supply_pred.data)
         except Exception as error:
             fallback = self._last_good
             if fallback is None:
@@ -484,6 +609,15 @@ class PredictionService:
             stale=self._reload_failed,
         )
         self._last_good = forecast
+        if self.quality is not None:
+            # Capture the forecast for reconciliation when the store
+            # closes this slot. Cache hits re-serve this same array
+            # pair, so one capture per (frontier, store, model) identity
+            # covers every rider who saw it.
+            self.quality.record_forecast(
+                forecast.slot, demand, supply,
+                model_version=version, store_version=key[1],
+            )
         return forecast
 
     @staticmethod

@@ -157,6 +157,9 @@ class FlowStateStore:
         self._late_dropped_counter = obs.counter("serve.ingest_dropped_late")
         self._rollover_counter = obs.counter("serve.rollovers")
         self._frontier_gauge = obs.gauge("serve.frontier")
+        #: Rollover listeners: fn(store, closed_slots) called after each
+        #: frontier advance with the range of slots that just closed.
+        self._listeners: list = []
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -351,14 +354,55 @@ class FlowStateStore:
             # (possible when gap >= capacity) is now behind the horizon.
             for s in [s for s in self._pending_inflow if s <= slot - self._capacity]:
                 del self._pending_inflow[s]
+            old_frontier = self._frontier
             self._frontier = slot
             self.version += 1
             self._rollover_counter.inc(gap)
             self._frontier_gauge.set(slot)
+            if self._listeners:
+                # Still under the (reentrant) lock: listeners may call
+                # realized()/sample() but must not block on other locks
+                # held by ingest threads.
+                closed = range(old_frontier, slot)
+                for listener in self._listeners:
+                    listener(self, closed)
+
+    def add_rollover_listener(self, listener) -> None:
+        """Register ``fn(store, closed_slots)`` to run after each advance.
+
+        ``closed_slots`` is the ``range`` of slots finalized by that
+        advance (old frontier inclusive, new frontier exclusive). The
+        quality monitor uses this to reconcile forecasts the moment
+        their target slot's realized flows are complete.
+        """
+        with self._lock:
+            self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+    def realized(self, slot: int) -> tuple[np.ndarray, np.ndarray]:
+        """Realized per-station ``(demand, supply)`` for a retained slot.
+
+        Demand is the station's total outflow, supply its total inflow —
+        the same row sums :func:`repro.data.flows.demand_supply` takes,
+        so reconciliation compares forecasts against exactly what the
+        offline evaluation would. Raises :class:`IndexError` once the
+        slot has been evicted from the ring.
+        """
+        slot = int(slot)
+        with self._lock:
+            if not self.oldest_retained <= slot <= self._frontier:
+                raise IndexError(
+                    f"slot {slot} is not retained "
+                    f"({self.oldest_retained}..{self._frontier})"
+                )
+            row = slot % self._capacity
+            return (
+                self._outflow[row].sum(axis=1),
+                self._inflow[row].sum(axis=1),
+            )
+
     def _gather(self, ring: np.ndarray, slots: np.ndarray, out: np.ndarray) -> np.ndarray:
         np.take(ring, slots % self._capacity, axis=0, out=out)
         return out

@@ -88,3 +88,73 @@ class TestGlobalSink:
         assert set_sink(sink) is None
         assert set_sink(None) is sink
         sink.close()
+
+
+class TestRotation:
+    def test_unbounded_by_default(self, tmp_path):
+        with JsonlExporter(tmp_path / "u.jsonl") as exporter:
+            for i in range(50):
+                exporter.emit("event", "tick", i=i)
+            assert exporter.rotations == 0
+        assert len(read_events(tmp_path / "u.jsonl")) == 50
+
+    def test_max_bytes_rotates_to_single_backup(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with JsonlExporter(path, max_bytes=200) as exporter:
+            for i in range(20):
+                exporter.emit("event", "tick", i=i)
+            assert exporter.rotations > 0
+            assert exporter.rotated_path.exists()
+        # at most two generations, newest events in the live file
+        live = read_events(path)
+        backup = read_events(exporter.rotated_path)
+        assert live[-1]["data"]["i"] == 19
+        assert backup[-1]["data"]["i"] == live[0]["data"]["i"] - 1
+
+    def test_never_rotates_an_empty_file(self, tmp_path):
+        path = tmp_path / "big.jsonl"
+        with JsonlExporter(path, max_bytes=10) as exporter:
+            # one event is already over the limit, but an empty file
+            # must absorb it rather than rotate forever
+            exporter.emit("event", "huge", payload="x" * 100)
+            assert exporter.rotations == 0
+            exporter.emit("event", "next")
+            assert exporter.rotations == 1
+        assert len(read_events(path)) == 1
+
+    def test_max_lines_bound(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        with JsonlExporter(path, max_lines=3) as exporter:
+            for i in range(7):
+                exporter.emit("event", "tick", i=i)
+        assert len(read_events(path)) == 1  # 3 + 3 rotated, 1 live
+        assert len(read_events(exporter.rotated_path)) == 3
+
+    def test_destroyed_generation_counts_events_dropped(
+        self, tmp_path, clean_telemetry
+    ):
+        registry = clean_telemetry
+        registry.enabled = True
+        path = tmp_path / "d.jsonl"
+        with JsonlExporter(path, max_lines=2) as exporter:
+            for i in range(4):  # fills live + one .1 backup: nothing lost
+                exporter.emit("event", "tick", i=i)
+            assert registry.counter("obs.events_dropped").value == 0
+            for i in range(4, 8):  # now each rotation destroys a .1
+                exporter.emit("event", "tick", i=i)
+            assert registry.counter("obs.events_dropped").value == 4
+
+    def test_append_resumes_against_existing_size(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        with JsonlExporter(path) as exporter:
+            exporter.emit("event", "old")
+        size = path.stat().st_size
+        with JsonlExporter(path, max_bytes=size + 10) as exporter:
+            exporter.emit("event", "new")  # pushes past the bound
+            assert exporter.rotations == 1
+
+    def test_bad_limits_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlExporter(tmp_path / "x.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonlExporter(tmp_path / "x.jsonl", max_lines=0)

@@ -1,0 +1,140 @@
+"""Tracing across the fork boundary: worker spans, crash recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import STGNNDJD, Trainer, TrainingConfig
+from repro.core.parallel import GradientWorkerPool, fork_available
+from repro.faults import FaultPlan, injected
+from repro.obs import JsonlExporter, ObservabilityConfig, read_events, set_sink
+from repro.obs.trace import TraceConfig, trace_scope, trace_span, trace_spans
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def traced_fit(dataset, tmp_path, run_id: str, workers: int):
+    model = STGNNDJD.from_dataset(dataset, seed=3)
+    config = TrainingConfig(
+        epochs=2, batch_size=8, seed=0, workers=workers,
+        metrics=ObservabilityConfig(out_dir=str(tmp_path), run_id=run_id,
+                                    trace=True),
+    )
+    Trainer(model, dataset, config).fit()
+    return trace_spans(read_events(tmp_path / f"{run_id}.events.jsonl"))
+
+
+class TestWorkerSpanMerge:
+    def test_worker_spans_nest_under_their_epoch(self, mini_dataset, tmp_path):
+        spans = traced_fit(mini_dataset, tmp_path, "traced", workers=2)
+        by_name: dict[str, list[dict]] = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span["data"])
+
+        [fit] = by_name["trainer.fit"]
+        epochs = by_name["trainer.epoch"]
+        assert len(epochs) == 2
+        assert all(e["parent_span_id"] == fit["span_id"] for e in epochs)
+        assert by_name["trainer.batch"]
+
+        workers = by_name["parallel.worker"]
+        assert workers  # forked spans came home and were emitted
+        epoch_span_ids = {e["span_id"] for e in epochs}
+        for worker in workers:
+            assert worker["trace_id"] == fit["trace_id"]
+            assert worker["parent_span_id"] in epoch_span_ids
+            assert worker["attrs"]["samples"] > 0
+
+        # one trace end to end, every span id minted exactly once
+        assert {s["data"]["trace_id"] for s in spans} == {fit["trace_id"]}
+        span_ids = [s["data"]["span_id"] for s in spans]
+        assert len(span_ids) == len(set(span_ids))
+
+    def test_tracing_off_ships_no_spans(self, mini_dataset, tmp_path):
+        model = STGNNDJD.from_dataset(mini_dataset, seed=3)
+        config = TrainingConfig(
+            epochs=1, batch_size=8, seed=0, workers=2,
+            metrics=ObservabilityConfig(out_dir=str(tmp_path), run_id="dark"),
+        )
+        Trainer(model, mini_dataset, config).fit()
+        assert trace_spans(read_events(tmp_path / "dark.events.jsonl")) == []
+
+
+class TestWorkerCrashRecovery:
+    def test_no_orphan_or_duplicate_spans_after_crash(
+        self, mini_dataset, tmp_path
+    ):
+        trainer = Trainer(
+            STGNNDJD.from_dataset(mini_dataset, seed=3, fcg_layers=1,
+                                  pcg_layers=1, num_heads=2, dropout=0.0),
+            mini_dataset,
+            TrainingConfig(epochs=1, batch_size=8, seed=5, workers=2),
+        )
+        batch = mini_dataset.split_indices()[0][:6]
+        plan = FaultPlan(seed=0).on(
+            "parallel.worker0.sample", action="crash", at=1
+        )
+        sink = JsonlExporter(tmp_path / "crash.jsonl")
+        prev_sink = set_sink(sink)
+        try:
+            with trace_scope(TraceConfig()):
+                trainer.optimizer.zero_grad()
+                with trace_span("test.batch") as root:
+                    # Arm before the fork so workers inherit the plan.
+                    with injected(plan):
+                        pool = GradientWorkerPool(trainer, 2)
+                        pool.accumulate_gradients(batch, 1.0 / len(batch))
+                    pool.close()
+        finally:
+            set_sink(prev_sink)
+            sink.close()
+
+        spans = trace_spans(read_events(sink.path))
+        by_name: dict[str, list[dict]] = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span["data"])
+
+        # the crashed worker's buffered spans were discarded, the
+        # surviving worker's were emitted once, and the parent recovered
+        # the lost shard under its own span — every sample traced
+        # exactly once, no orphans, no duplicates.
+        [recover] = by_name["parallel.recover"]
+        workers = by_name.get("parallel.worker", [])
+        traced = recover["attrs"]["samples"] + sum(
+            w["attrs"]["samples"] for w in workers
+        )
+        assert traced == len(batch)
+        root_data = by_name["test.batch"][0]
+        for data in workers + [recover]:
+            assert data["trace_id"] == root_data["trace_id"]
+        span_ids = [s["data"]["span_id"] for s in spans]
+        assert len(span_ids) == len(set(span_ids))
+
+    def test_clean_run_traces_every_sample_once(self, mini_dataset, tmp_path):
+        trainer = Trainer(
+            STGNNDJD.from_dataset(mini_dataset, seed=3, fcg_layers=1,
+                                  pcg_layers=1, num_heads=2, dropout=0.0),
+            mini_dataset,
+            TrainingConfig(epochs=1, batch_size=8, seed=5, workers=2),
+        )
+        batch = mini_dataset.split_indices()[0][:6]
+        sink = JsonlExporter(tmp_path / "clean.jsonl")
+        prev_sink = set_sink(sink)
+        try:
+            with trace_scope(TraceConfig()):
+                trainer.optimizer.zero_grad()
+                with trace_span("test.batch"):
+                    pool = GradientWorkerPool(trainer, 2)
+                    pool.accumulate_gradients(batch, 1.0 / len(batch))
+                pool.close()
+        finally:
+            set_sink(prev_sink)
+            sink.close()
+        spans = trace_spans(read_events(sink.path))
+        workers = [s["data"] for s in spans if s["name"] == "parallel.worker"]
+        assert len(workers) == 2
+        assert sum(w["attrs"]["samples"] for w in workers) == len(batch)
+        assert not any(s["name"] == "parallel.recover" for s in spans)
