@@ -1,0 +1,429 @@
+"""Open-loop fleet load harness: a million-event trip replay with chaos.
+
+Boots a K-shard × N-replica serving fleet (the ``repro.serve.fleet``
+stack behind its real stdlib HTTP surface) and replays a deterministic
+trip stream against it, open-loop: ingest batches are submitted on a
+fixed arrival schedule derived from ``--rate``, never throttled by
+response latency, while concurrent predict workers fire ``/predict``
+requests on their own schedule. Mid-run, a seeded
+:class:`~repro.faults.FaultPlan` crashes one replica's dispatcher
+(:class:`~repro.serve.ReplicaCrash`) and hangs another — the router
+must reroute, restart, and keep answering.
+
+Three hard assertions make this a gate, not a demo:
+
+* **zero lost updates** — every replayed event is also applied to a
+  mirror single-process :class:`~repro.serve.FlowStateStore` in the
+  same order; at the end, the sharded fleet state must reassemble
+  **bitwise** equal to the mirror (one dropped, duplicated, or
+  misrouted event anywhere breaks float equality);
+* **p99 SLO** — the fleet's merged ``/status`` p99-latency objective
+  must be healthy (the same :class:`~repro.obs.slo.SLOConfig` bar the
+  single service enforces), and the client-observed p99 is recorded;
+* **trace continuity** — a sampled request's ``traceparent`` must
+  produce ``http.predict`` *and* ``fleet.route`` spans under one trace
+  id: the router hop does not break the trace tree.
+
+Results land in ``BENCH_fleet.json``. CI runs ``--smoke`` (small
+replay, same assertions); the full ``--events 1000000`` run is the
+acceptance bar::
+
+    PYTHONPATH=src python benchmarks/loadgen.py --smoke
+    PYTHONPATH=src python benchmarks/loadgen.py   # 1M events
+
+Imports only numpy + stdlib (plus ``repro`` itself), matching the CI
+benchmark jobs' bare-numpy environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401  (resolves via PYTHONPATH when set)
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import STGNNDJD, SyntheticCityConfig, generate_city
+from repro.faults import FaultPlan, injected
+from repro.obs import enable_metrics
+from repro.obs.events import JsonlExporter, set_sink
+from repro.obs.trace import TraceConfig, enable_tracing
+from repro.serve import FlowStateStore, ReplicaCrash, ServiceConfig
+from repro.serve.fleet import FleetRouter, make_fleet_server
+
+SEED = 571  # the paper's station count, recycled as the replay seed
+SLOT_SECONDS = 1800.0
+
+
+def _parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=1_000_000,
+                        help="trip events to replay (>= 1M for acceptance)")
+    parser.add_argument("--rate", type=float, default=25_000.0,
+                        help="open-loop arrival rate, events/second")
+    parser.add_argument("--batch", type=int, default=1_000,
+                        help="trips per /ingest request")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--predict-workers", type=int, default=3)
+    parser.add_argument("--predict-interval", type=float, default=0.002,
+                        help="per-worker /predict firing interval, seconds")
+    parser.add_argument("--no-chaos", action="store_true",
+                        help="skip the replica crash/hang injections")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_fleet.json"))
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized replay (~40k events), same assertions")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.events = min(args.events, 40_000)
+        args.rate = min(args.rate, 20_000.0)
+    return args
+
+
+def generate_trips(n_events: int, num_stations: int, t0: float,
+                   rng: np.random.Generator) -> np.ndarray:
+    """A deterministic, dirty trip stream in ingestion order.
+
+    Start times drift forward from ``t0`` (~2000 trips per slot), then
+    get shuffled within 64-event windows (out-of-order feeds) and 0.5%
+    are yanked 0.5–3 slots into the past (bounded-late stragglers; a
+    handful land behind the horizon and must be *consistently* dropped
+    by fleet and mirror alike). Durations include 2% negative ones —
+    dirty records both sides must fold identically (a return "before"
+    the checkout lands in the return's own slot, same as the batch
+    builder).
+    """
+    starts = t0 + np.cumsum(
+        rng.exponential(SLOT_SECONDS / 2000.0, n_events)
+    )
+    # Out-of-order ingestion: permute within fixed windows.
+    order = np.arange(n_events)
+    for lo in range(0, n_events - 64, 64):
+        order[lo:lo + 64] = lo + rng.permutation(64)
+    starts = starts[order]
+    late = rng.random(n_events) < 0.005
+    starts[late] -= rng.uniform(0.5, 3.0, late.sum()) * SLOT_SECONDS
+    # A few events arrive from behind the retained horizon (> 145 slots
+    # old for the loadgen city): both fleet and mirror must *drop* them.
+    ancient = rng.random(n_events) < 0.0005
+    starts[ancient] -= rng.uniform(150.0, 250.0, ancient.sum()) * SLOT_SECONDS
+    starts = np.maximum(starts, 0.0)
+    durations = rng.uniform(60.0, 2.0 * SLOT_SECONDS, n_events)
+    negative = rng.random(n_events) < 0.02
+    durations[negative] = -rng.uniform(0.0, 600.0, negative.sum())
+    trips = np.empty((n_events, 4))
+    trips[:, 0] = rng.integers(0, num_stations, n_events)
+    trips[:, 1] = rng.integers(0, num_stations, n_events)
+    trips[:, 2] = starts
+    trips[:, 3] = starts + durations
+    return trips
+
+
+def _post(base: str, path: str, payload: dict, headers: dict | None = None):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60.0) as response:
+            return response.status, dict(response.headers), json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=60.0) as response:
+        return response.status, json.loads(response.read())
+
+
+class PredictWorker(threading.Thread):
+    """Open-loop /predict client: fires on schedule, records latency."""
+
+    def __init__(self, base: str, interval: float, stop: threading.Event,
+                 worker_id: int) -> None:
+        super().__init__(name=f"loadgen-predict-{worker_id}", daemon=True)
+        self.base = base
+        self.interval = interval
+        self.stop_event = stop
+        self.latencies: list[float] = []
+        self.ok = 0
+        self.shed = 0
+        self.errors = 0
+        self.retry_afters: list[float] = []
+        # One sampled traced request per worker proves continuity.
+        self.trace_id = f"{SEED + worker_id:032x}"
+        self.traced_sent = False
+
+    def run(self) -> None:
+        next_due = time.monotonic()
+        while not self.stop_event.is_set():
+            delay = next_due - time.monotonic()
+            if delay > 0:
+                time.sleep(min(delay, 0.05))
+                continue
+            next_due += self.interval  # open loop: schedule, not completion
+            headers = {}
+            if not self.traced_sent:
+                headers["traceparent"] = f"00-{self.trace_id}-{1:016x}-01"
+                self.traced_sent = True
+            start = time.perf_counter()
+            try:
+                status, resp_headers, _ = _post(
+                    self.base, "/predict", {}, headers=headers
+                )
+            except Exception:
+                self.errors += 1
+                continue
+            elapsed = time.perf_counter() - start
+            if status == 200:
+                self.ok += 1
+                self.latencies.append(elapsed)
+            elif status == 503:
+                self.shed += 1
+                retry = resp_headers.get("Retry-After")
+                if retry is not None:
+                    self.retry_afters.append(float(retry))
+            else:
+                self.errors += 1
+
+
+def run_loadgen(args: argparse.Namespace) -> dict:
+    enable_metrics()
+    events_path = Path(tempfile.mkdtemp(prefix="loadgen-")) / "events.jsonl"
+    set_sink(JsonlExporter(str(events_path)))
+    enable_tracing(TraceConfig(sample_rate=0.0))  # only explicit traceparents
+
+    # Small city, big stream: the deploy-sized 12-station city keeps
+    # per-event cost low enough to push a million events through the
+    # full HTTP + sharding + mirror path in CI-scale wall time.
+    city = SyntheticCityConfig(
+        name="loadgen-city", num_stations=12, days=14,
+        trips_per_day=70.0 * 12, slot_seconds=SLOT_SECONDS,
+        short_window=48, long_days=3,
+    )
+    dataset = generate_city(city, seed=SEED)
+    model = STGNNDJD.from_dataset(dataset, seed=SEED)
+    service_config = ServiceConfig(queue_depth=512, request_timeout_seconds=60.0)
+    router = FleetRouter.for_dataset(
+        model, dataset,
+        num_shards=args.shards, num_replicas=args.replicas,
+        service_config=service_config,
+    )
+    # The mirror: one unsharded store fed the exact same event sequence
+    # through the seam-free application path. Zero lost updates ==
+    # bitwise-equal retained tensors at the end of the replay.
+    mirror = FlowStateStore.from_dataset(dataset)
+
+    plan = FaultPlan(seed=SEED)
+    crash_at = max(50, args.events // (args.batch * 4))
+    if not args.no_chaos:
+        plan.on("fleet.replica0.dispatch", "raise", at=crash_at,
+                exception=ReplicaCrash("injected replica crash"))
+        plan.on("fleet.replica1.dispatch", "hang", at=crash_at * 2,
+                hang_seconds=0.25)
+
+    server = make_fleet_server(router)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    server_thread = threading.Thread(
+        target=server.serve_forever, name="loadgen-server", daemon=True
+    )
+
+    rng = np.random.default_rng(SEED)
+    t0 = dataset.num_slots * SLOT_SECONDS
+    trips = generate_trips(args.events, city.num_stations, t0, rng)
+
+    stop = threading.Event()
+    workers = [
+        PredictWorker(base, args.predict_interval, stop, i)
+        for i in range(args.predict_workers)
+    ]
+
+    ingest_lag = 0.0
+    accepted = dropped = rejected_ingest = 0
+    with injected(plan):
+        router.start()
+        server_thread.start()
+        for worker in workers:
+            worker.start()
+        wall_start = time.monotonic()
+        try:
+            for lo in range(0, args.events, args.batch):
+                due = wall_start + lo / args.rate
+                delay = due - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                else:
+                    ingest_lag = max(ingest_lag, -delay)
+                chunk = trips[lo:lo + args.batch]
+                payload = {"trips": [
+                    {"origin": int(o), "destination": int(d),
+                     "start_time": s, "end_time": e}
+                    for o, d, s, e in chunk.tolist()
+                ]}
+                status, _, body = _post(base, "/ingest", payload)
+                if status != 200:
+                    raise AssertionError(
+                        f"/ingest answered {status}: {body}"
+                    )
+                accepted += body["accepted"]
+                dropped += body["dropped_late"]
+                # Same events, same order, seam-free path: the mirror
+                # must agree on every accept/drop verdict.
+                for o, d, s, e in chunk.tolist():
+                    mirror.apply_event(int(o), int(d), s, e)
+            wall = time.monotonic() - wall_start
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=10.0)
+            server.shutdown()
+            server.server_close()
+
+        status_code, status_body = _get_status_direct(router)
+        replicas_running = [r.running for r in router.replicas]
+        router.stop()
+    set_sink(None)
+
+    # ---- assertion 1: zero lost updates (bitwise shard parity) -------
+    assert router.store.frontier == mirror.frontier, (
+        f"frontier drift: fleet {router.store.frontier} "
+        f"vs mirror {mirror.frontier}"
+    )
+    first_f, in_f, out_f = router.store.retained_tensors()
+    first_m, in_m, out_m = mirror.retained_tensors()
+    assert first_f == first_m
+    lost = (0 if np.array_equal(in_f, in_m) and np.array_equal(out_f, out_m)
+            else int(np.sum(in_f != in_m) + np.sum(out_f != out_m)))
+    assert lost == 0, f"{lost} flow cells diverged from the mirror store"
+
+    # ---- assertion 2: p99 SLO ----------------------------------------
+    latencies = sorted(x for w in workers for x in w.latencies)
+    assert latencies, "no successful /predict requests recorded"
+    client_p99 = latencies[min(len(latencies) - 1,
+                               int(0.99 * len(latencies)))]
+    slo = status_body["slo"]
+    fleet_p99 = next(
+        o for o in slo["fleet"]["objectives"]
+        if o["name"] == "p99_latency_seconds"
+    )
+    assert fleet_p99["healthy"], (
+        f"fleet p99 objective unhealthy: {fleet_p99}"
+    )
+
+    # ---- assertion 3: chaos recovered, shedding jittered -------------
+    fired_sites = [f.site for f in plan.fired]
+    if not args.no_chaos:
+        assert "fleet.replica0.dispatch" in fired_sites, (
+            "the replica crash never fired — replay too short for the "
+            "schedule, injection is untested"
+        )
+        assert all(replicas_running), "a crashed replica was not restarted"
+    retry_afters = [x for w in workers for x in w.retry_afters]
+    if len(set(retry_afters)) == 1 and len(retry_afters) >= 10:
+        raise AssertionError(
+            "every 503 advertised the identical Retry-After — jitter "
+            "is not reaching the HTTP surface"
+        )
+
+    # ---- assertion 4: trace continuity through the router hop --------
+    spans_by_trace: dict[str, set[str]] = {}
+    with open(events_path) as stream:
+        for line in stream:
+            event = json.loads(line)
+            trace_id = event.get("data", {}).get("trace_id")
+            if event.get("kind") == "span" and trace_id:
+                spans_by_trace.setdefault(trace_id, set()).add(event["name"])
+    continuous = [
+        tid for tid, names in spans_by_trace.items()
+        if "http.predict" in names and "fleet.route" in names
+    ]
+    assert continuous, (
+        f"no trace carries both http.predict and fleet.route spans "
+        f"(saw {sorted(set().union(*spans_by_trace.values())) if spans_by_trace else []})"
+    )
+
+    predict_ok = sum(w.ok for w in workers)
+    predict_shed = sum(w.shed for w in workers)
+    predict_errors = sum(w.errors for w in workers)
+    return {
+        "benchmark": "fleet-loadgen",
+        "events_replayed": args.events,
+        "shards": args.shards,
+        "replicas": args.replicas,
+        "target_rate_eps": args.rate,
+        "achieved_rate_eps": round(args.events / wall, 1),
+        "wall_seconds": round(wall, 3),
+        "max_ingest_lag_seconds": round(ingest_lag, 3),
+        "accepted": accepted,
+        "dropped_late": dropped,
+        "rejected_ingest": rejected_ingest,
+        "lost_updates": lost,
+        "bitwise_parity": True,
+        "predict": {
+            "ok": predict_ok,
+            "shed_503": predict_shed,
+            "errors": predict_errors,
+            "client_p99_seconds": round(client_p99, 6),
+            "client_p50_seconds": round(
+                latencies[len(latencies) // 2], 6
+            ),
+            "distinct_retry_after_hints": len(set(retry_afters)),
+        },
+        "slo": {
+            "fleet_healthy": slo["healthy"],
+            "fleet_p99_seconds": fleet_p99["value"],
+            "p99_target_seconds": fleet_p99["target"],
+            "worst_replica": slo["worst_replica"],
+        },
+        "chaos": {
+            "injected": not args.no_chaos,
+            "fired": [
+                {"site": f.site, "action": f.action} for f in plan.fired
+            ],
+            "replicas_running_at_end": replicas_running,
+        },
+        "trace": {
+            "continuous_traces": len(continuous),
+        },
+    }
+
+
+def _get_status_direct(router: FleetRouter) -> tuple[int, dict]:
+    """Fleet status after shutdown of the HTTP listener (same payload)."""
+    return 200, router.status()
+
+
+def main(argv=None) -> None:
+    args = _parse_args(argv)
+    result = run_loadgen(args)
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"\nwrote {out}")
+    assert result["lost_updates"] == 0
+    assert result["slo"]["fleet_healthy"] or result["predict"]["shed_503"] >= 0
+    print("loadgen: OK "
+          f"({result['events_replayed']} events, "
+          f"{result['achieved_rate_eps']} ev/s, "
+          f"p99 {result['predict']['client_p99_seconds']}s, "
+          f"0 lost updates)")
+
+
+if __name__ == "__main__":
+    main()

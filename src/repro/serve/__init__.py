@@ -16,6 +16,10 @@ story (Sec. VII-I), built in three layers:
   ``/predict``, ``/ingest``, ``/healthz``, ``/metrics`` and
   ``/admin/reload``; ``python -m repro.serve`` boots it from the
   command line.
+* :mod:`repro.serve.fleet` — the scale-out tier: K-way station-sharded
+  flow state (bitwise-equal reassembly) behind N replicated prediction
+  services and a front-of-fleet router; ``python -m repro.serve
+  --shards K --replicas N`` boots a fleet behind the same HTTP surface.
 
 Quickstart (in-process)::
 
@@ -31,23 +35,39 @@ from repro.serve.state import FlowStateConfig, FlowStateStore, LateEventError
 from repro.serve.service import (
     Forecast,
     PredictionService,
+    ReplicaCrash,
     ServiceConfig,
     ServiceError,
     ServiceOverloaded,
     ServiceStopped,
 )
 from repro.serve.http import ServingHTTPServer, make_server
+from repro.serve.fleet import (
+    FleetConfig,
+    FleetReloadError,
+    FleetRouter,
+    ShardedFlowStore,
+    ShardMap,
+    make_fleet_server,
+)
 
 __all__ = [
+    "FleetConfig",
+    "FleetReloadError",
+    "FleetRouter",
     "FlowStateConfig",
     "FlowStateStore",
     "LateEventError",
     "Forecast",
     "PredictionService",
+    "ReplicaCrash",
     "ServiceConfig",
     "ServiceError",
     "ServiceOverloaded",
     "ServiceStopped",
     "ServingHTTPServer",
+    "ShardMap",
+    "ShardedFlowStore",
+    "make_fleet_server",
     "make_server",
 ]

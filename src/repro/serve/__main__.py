@@ -14,6 +14,13 @@ over a synthetic city whose history warm-starts the flow-state store::
     curl localhost:8973/metrics
     curl -X POST localhost:8973/admin/reload
 
+``--shards K`` and/or ``--replicas N`` boot the fleet tier instead: the
+same HTTP surface over a K-way station-sharded store and N replicated
+prediction services with least-loaded routing, plus ``GET /replicas``::
+
+    python -m repro.serve --shards 2 --replicas 2 --port 8973
+    curl localhost:8973/replicas
+
 The ``--city`` options regenerate the same deterministic synthetic
 datasets the examples use, so a checkpoint trained by
 ``examples/train_save_deploy.py`` matches ``--city deploy`` here.
@@ -31,6 +38,7 @@ from repro.obs.quality import QualityConfig
 from repro.obs.registry import enable_metrics
 from repro.obs.slo import SLOConfig
 from repro.obs.trace import TraceConfig, enable_tracing
+from repro.serve.fleet import FleetRouter, make_fleet_server
 from repro.serve.http import make_server
 from repro.serve.service import PredictionService, ServiceConfig
 from repro.utils import get_logger, set_global_level
@@ -55,26 +63,84 @@ def _city_config(name: str) -> SyntheticCityConfig:
     raise ValueError(f"unknown city preset {name!r}")
 
 
-def build_service(args: argparse.Namespace) -> PredictionService:
-    dataset = generate_city(_city_config(args.city), seed=args.seed)
-    if args.checkpoint:
-        model = load_stgnn(args.checkpoint)
-    else:
-        logger.warning("no --checkpoint given: serving an untrained model")
-        model = STGNNDJD.from_dataset(dataset, seed=args.seed)
-    config = ServiceConfig(
+def _validate_args(parser: argparse.ArgumentParser,
+                   args: argparse.Namespace) -> None:
+    """Reject inconsistent flag combinations with a clear parser error.
+
+    Everything here used to surface later as a traceback from some
+    config ``__post_init__`` (or, worse, as a hung fleet) — the CLI
+    contract is that bad flags die at parse time with the flag's name
+    in the message.
+    """
+    if args.replicas < 1:
+        parser.error(f"--replicas must be >= 1, got {args.replicas}")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
+    num_stations = _city_config(args.city).num_stations
+    if args.shards > num_stations:
+        parser.error(
+            f"--shards {args.shards} exceeds the {num_stations} stations "
+            f"of --city {args.city} (each shard needs at least one station)"
+        )
+    if args.max_batch < 1:
+        parser.error(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.batch_wait < 0:
+        parser.error(f"--batch-wait must be >= 0, got {args.batch_wait}")
+    if args.queue_depth < 1:
+        parser.error(f"--queue-depth must be >= 1, got {args.queue_depth}")
+    if args.reload_poll is not None and args.reload_poll <= 0:
+        parser.error(f"--reload-poll must be > 0, got {args.reload_poll}")
+    if not 0.0 <= args.trace_sample <= 1.0:
+        parser.error(
+            f"--trace-sample must be in 0..1, got {args.trace_sample}"
+        )
+    if args.slo_p99 <= 0:
+        parser.error(f"--slo-p99 must be > 0, got {args.slo_p99}")
+    if args.quality_window is not None:
+        if not args.quality:
+            parser.error("--quality-window requires --quality")
+        if args.quality_window < 1:
+            parser.error(
+                f"--quality-window must be >= 1, got {args.quality_window}"
+            )
+    if args.trace and not args.events:
+        parser.error("--trace requires --events (spans need a sink)")
+
+
+def _service_config(args: argparse.Namespace) -> ServiceConfig:
+    quality_window = (
+        256 if args.quality_window is None else args.quality_window
+    )
+    return ServiceConfig(
         max_batch=args.max_batch,
         batch_wait_seconds=args.batch_wait,
         queue_depth=args.queue_depth,
         checkpoint_path=args.checkpoint,
         reload_poll_seconds=args.reload_poll if args.checkpoint else None,
         quality=(
-            QualityConfig(window=args.quality_window)
+            QualityConfig(window=quality_window)
             if args.quality else None
         ),
         slo=SLOConfig(p99_latency_seconds=args.slo_p99),
     )
-    return PredictionService.for_dataset(model, dataset, config=config)
+
+
+def build_service(args: argparse.Namespace) -> "PredictionService | FleetRouter":
+    """One service, or a fleet router when --shards/--replicas ask for it."""
+    dataset = generate_city(_city_config(args.city), seed=args.seed)
+    if args.checkpoint:
+        model = load_stgnn(args.checkpoint)
+    else:
+        logger.warning("no --checkpoint given: serving an untrained model")
+        model = STGNNDJD.from_dataset(dataset, seed=args.seed)
+    config = _service_config(args)
+    if args.replicas == 1 and args.shards == 1:
+        return PredictionService.for_dataset(model, dataset, config=config)
+    return FleetRouter.for_dataset(
+        model, dataset,
+        num_shards=args.shards, num_replicas=args.replicas,
+        service_config=config,
+    )
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -90,6 +156,12 @@ def main(argv: list[str] | None = None) -> None:
                         choices=("deploy", "tiny", "la", "chicago"),
                         help="synthetic city whose history warms the store")
     parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="prediction-service replicas behind the "
+                             "fleet router (1: single service, no router)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="station shards for the flow store "
+                             "(1 with --replicas 1: single store)")
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--batch-wait", type=float, default=0.002,
                         help="micro-batch coalescing window, seconds")
@@ -107,12 +179,14 @@ def main(argv: list[str] | None = None) -> None:
                         help="fraction of root traces recorded, 0..1")
     parser.add_argument("--quality", action="store_true",
                         help="enable continuous forecast-quality monitoring")
-    parser.add_argument("--quality-window", type=int, default=256,
-                        help="reconciled slots per rolling quality window")
+    parser.add_argument("--quality-window", type=int, default=None,
+                        help="reconciled slots per rolling quality window "
+                             "(requires --quality; default 256)")
     parser.add_argument("--slo-p99", type=float, default=0.25,
                         help="p99 request-latency objective, seconds")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
+    _validate_args(parser, args)
 
     if args.verbose:
         set_global_level("DEBUG")
@@ -123,11 +197,12 @@ def main(argv: list[str] | None = None) -> None:
             max_bytes=int(args.events_max_mb * 1024 * 1024),
         ))
     if args.trace:
-        if not args.events:
-            parser.error("--trace requires --events (spans need a sink)")
         enable_tracing(TraceConfig(sample_rate=args.trace_sample))
     service = build_service(args)
-    server = make_server(service, host=args.host, port=args.port)
+    if isinstance(service, FleetRouter):
+        server = make_fleet_server(service, host=args.host, port=args.port)
+    else:
+        server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     with service:
         logger.info("serving on http://%s:%d (frontier slot %d)",

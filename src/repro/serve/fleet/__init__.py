@@ -1,0 +1,30 @@
+"""Fleet-scale serving: sharded flow state behind replicated inference.
+
+``shard`` partitions the city's :class:`~repro.serve.state.FlowStateStore`
+into K station shards whose reassembled tensors are bitwise equal to
+the single-store build; ``router`` runs N
+:class:`~repro.serve.service.PredictionService` replicas over that
+shared state behind the stdlib HTTP front end, with least-loaded
+dispatch, replica health/restart, overload shedding, and staged
+checkpoint rollout. ``benchmarks/loadgen.py`` drives the whole stack
+with a million-event open-loop replay under fault injection.
+"""
+
+from repro.serve.fleet.router import (
+    FleetConfig,
+    FleetHandler,
+    FleetReloadError,
+    FleetRouter,
+    make_fleet_server,
+)
+from repro.serve.fleet.shard import ShardedFlowStore, ShardMap
+
+__all__ = [
+    "FleetConfig",
+    "FleetHandler",
+    "FleetReloadError",
+    "FleetRouter",
+    "ShardMap",
+    "ShardedFlowStore",
+    "make_fleet_server",
+]

@@ -1,0 +1,483 @@
+"""Front-of-fleet router: N prediction replicas, one HTTP surface.
+
+:class:`FleetRouter` runs N :class:`~repro.serve.service.PredictionService`
+replicas — each with its own dispatcher, micro-batch queue, forecast
+cache, and quality monitor — over one shared
+:class:`~repro.serve.fleet.shard.ShardedFlowStore`, and duck-types the
+single-service surface :class:`~repro.serve.http.ServingHandler`
+consumes. The existing HTTP front end therefore serves a whole fleet
+unchanged; :func:`make_fleet_server` just swaps in a handler subclass
+that adds ``GET /replicas``.
+
+Dispatch
+--------
+``predict`` picks the healthy replica with the fewest pending requests
+(least-loaded), breaking ties round-robin so equal-load replicas share
+traffic evenly; ``strategy="round_robin"`` skips the load signal
+entirely. A replica that rejects (queue full) or fails (dispatcher
+dead, injected crash) is skipped and the request retried on the next
+candidate — only when *every* replica sheds does the router give up
+with :class:`~repro.serve.service.ServiceOverloaded`, advertising the
+smallest jittered ``Retry-After`` any replica offered. Dead replicas
+are restarted in the background of the next dispatch that notices them
+(``auto_restart=False`` leaves them down for the chaos tests to
+inspect).
+
+Staged reload
+-------------
+``reload`` never fans a new checkpoint straight out. One canary replica
+reloads first and answers a shadow forecast; the canary must produce
+all-finite output (and, when ``shadow_tolerance`` is set, stay within a
+relative band of the incumbent replicas' forecast). Only then do the
+remaining replicas reload — in-flight batches keep their old weights,
+per the service's atomic-swap semantics. A canary that fails its check
+is **quarantined** (excluded from dispatch, its old checkpoint file may
+already be overwritten) and :class:`FleetReloadError` raised; traffic
+keeps flowing on the incumbents, and ``restore_replica`` lifts the
+quarantine after an operator (or test) intervenes.
+
+Chaos seams: ``fleet.route`` fires per routed request; each replica
+exposes ``fleet.replica{i}.dispatch/.forecast/.reload`` through its
+service name. Traces gain a ``fleet.route`` span between the HTTP span
+and the replica's queue/batch spans, so one traceparent still threads
+client → router → replica → forward.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.model import STGNNDJD
+from repro.data.dataset import BikeShareDataset
+from repro.faults import fault_point
+from repro.obs.registry import default_registry
+from repro.obs.slo import aggregate_slos
+from repro.obs.trace import trace_span, trace_status
+from repro.serve.fleet.shard import ShardedFlowStore
+from repro.serve.http import ServingHandler, ServingHTTPServer
+from repro.serve.service import (
+    Forecast,
+    PredictionService,
+    ServiceConfig,
+    ServiceError,
+    ServiceOverloaded,
+)
+from repro.utils import get_logger
+
+logger = get_logger("serve.fleet")
+
+
+class FleetReloadError(ServiceError):
+    """A staged rollout stopped at the canary; incumbents keep serving."""
+
+
+@dataclass(frozen=True, slots=True)
+class FleetConfig:
+    """Router knobs.
+
+    ``strategy`` — ``"least_loaded"`` (pending-queue depth, round-robin
+    tiebreak) or ``"round_robin"``. ``auto_restart`` — restart a dead
+    replica's dispatcher when dispatch notices it. ``shadow_tolerance``
+    — optional relative-deviation bound for the canary shadow check
+    (``None`` checks finiteness only, since new weights legitimately
+    move the numbers).
+    """
+
+    strategy: str = "least_loaded"
+    auto_restart: bool = True
+    shadow_tolerance: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("least_loaded", "round_robin"):
+            raise ValueError(
+                f"strategy must be 'least_loaded' or 'round_robin', "
+                f"got {self.strategy!r}"
+            )
+        if self.shadow_tolerance is not None and self.shadow_tolerance <= 0:
+            raise ValueError(
+                f"shadow_tolerance must be > 0, got {self.shadow_tolerance}"
+            )
+
+
+class FleetRouter:
+    """Route requests across replicas; aggregate their health."""
+
+    def __init__(
+        self,
+        replicas: list[PredictionService],
+        config: FleetConfig | None = None,
+    ) -> None:
+        if not replicas:
+            raise ValueError("a fleet needs at least one replica")
+        stores = {id(r.store) for r in replicas}
+        if len(stores) != 1:
+            raise ValueError(
+                "all replicas must share one flow store — replicated "
+                "inference over partitioned state, not partitioned inference"
+            )
+        self.config = config or FleetConfig()
+        self.replicas = replicas
+        self.store = replicas[0].store
+        self._lock = threading.Lock()
+        self._rr = 0  # round-robin cursor (also the tiebreak rotation)
+        self._quarantined: set[int] = set()
+        obs = default_registry()
+        self._requests_counter = obs.counter("fleet.requests")
+        self._retries_counter = obs.counter("fleet.retries")
+        self._rejected_counter = obs.counter("fleet.rejected")
+        self._restarts_counter = obs.counter("fleet.restarts")
+        self._reload_stage_counter = obs.counter("fleet.staged_reloads")
+        self._quarantine_gauge = obs.gauge("fleet.quarantined")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        model: STGNNDJD,
+        store: ShardedFlowStore,
+        demand_normalizer,
+        supply_normalizer,
+        num_replicas: int = 2,
+        service_config: ServiceConfig | None = None,
+        config: FleetConfig | None = None,
+    ) -> "FleetRouter":
+        """Stamp out N identically configured replicas over one store.
+
+        Each replica gets ``name="fleet.replica{i}"`` — its own metric
+        family, fault sites, and Retry-After jitter stream — and its
+        own model copy (reload swaps weights per replica; sharing one
+        model object would defeat the staged rollout).
+        """
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        base = service_config or ServiceConfig()
+        replicas = []
+        for i in range(num_replicas):
+            cfg = dataclasses.replace(base, name=f"fleet.replica{i}")
+            replica_model = model if i == 0 else _clone_model(model)
+            replicas.append(
+                PredictionService(
+                    replica_model, store,
+                    demand_normalizer, supply_normalizer, cfg,
+                )
+            )
+        return cls(replicas, config=config)
+
+    @classmethod
+    def for_dataset(
+        cls,
+        model: STGNNDJD,
+        dataset: BikeShareDataset,
+        num_shards: int = 2,
+        num_replicas: int = 2,
+        service_config: ServiceConfig | None = None,
+        config: FleetConfig | None = None,
+        frontier: int | None = None,
+    ) -> "FleetRouter":
+        """A warm fleet continuing where a dataset's history ends."""
+        store = ShardedFlowStore.from_dataset(
+            dataset, num_shards=num_shards, frontier=frontier
+        )
+        return cls.build(
+            model, store,
+            dataset.demand_normalizer, dataset.supply_normalizer,
+            num_replicas=num_replicas,
+            service_config=service_config, config=config,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle (the handler's service contract)
+    # ------------------------------------------------------------------
+    def start(self) -> "FleetRouter":
+        for replica in self.replicas:
+            replica.start()
+        return self
+
+    def stop(self) -> None:
+        for replica in self.replicas:
+            replica.stop()
+
+    def __enter__(self) -> "FleetRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """The fleet serves as long as any replica dispatcher is alive."""
+        return any(r.running for r in self.replicas)
+
+    @property
+    def model_version(self) -> int:
+        """The laggard's version: equal fleet-wide outside a staged reload."""
+        return min(r.model_version for r in self.replicas)
+
+    @property
+    def reload_failed(self) -> bool:
+        return bool(self._quarantined) or any(
+            r.reload_failed for r in self.replicas
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _candidates(self) -> list[int]:
+        """Dispatch order for one request: healthy first, then by policy."""
+        with self._lock:
+            start = self._rr
+            self._rr = (self._rr + 1) % len(self.replicas)
+        order = [
+            (start + j) % len(self.replicas)
+            for j in range(len(self.replicas))
+        ]
+        order = [i for i in order if i not in self._quarantined]
+        if self.config.strategy == "least_loaded":
+            # Stable sort: equal pending depths keep rotating.
+            order.sort(key=lambda i: self.replicas[i].pending)
+        return order
+
+    def _revive(self, index: int) -> bool:
+        """Restart a dead replica's dispatcher (unless chaos says not to)."""
+        if not self.config.auto_restart:
+            return False
+        replica = self.replicas[index]
+        with self._lock:
+            if replica.running:
+                return True
+            replica.start()
+        self._restarts_counter.inc()
+        logger.warning("restarted dead replica %s", replica.name)
+        return True
+
+    def predict(
+        self,
+        stations: "list[int] | np.ndarray | None" = None,
+        timeout: float | None = None,
+    ) -> Forecast:
+        """Route one forecast request to a replica, retrying across the fleet.
+
+        Raises :class:`ServiceOverloaded` only when every live replica
+        shed the request, with the smallest Retry-After hint offered;
+        a request that finds no live replica at all (and auto-restart
+        off) raises :class:`ServiceError`.
+        """
+        self._requests_counter.inc()
+        fault_point("fleet.route")
+        candidates = self._candidates()
+        if not candidates:
+            raise ServiceError("all replicas are quarantined")
+        retry_hints: list[float] = []
+        last_error: BaseException | None = None
+        for attempt, index in enumerate(candidates):
+            replica = self.replicas[index]
+            if not replica.running and not self._revive(index):
+                continue
+            if attempt:
+                self._retries_counter.inc()
+            try:
+                with trace_span("fleet.route", replica=replica.name,
+                                attempt=attempt) as span:
+                    forecast = replica.predict(stations, timeout=timeout)
+                    span.set(outcome="ok", slot=forecast.slot)
+                    return forecast
+            except ServiceOverloaded as error:
+                retry_hints.append(error.retry_after)
+                last_error = error
+            except ServiceError as error:
+                # Dispatcher died under us (injected crash, stop race):
+                # the next candidate gets the request; the dead replica
+                # is revived by whichever dispatch notices it next.
+                last_error = error
+                logger.warning(
+                    "replica %s failed a request (%s); rerouting",
+                    replica.name, error,
+                )
+        if retry_hints:
+            self._rejected_counter.inc()
+            raise ServiceOverloaded(min(retry_hints))
+        raise last_error or ServiceError("no live replica accepted the request")
+
+    # ------------------------------------------------------------------
+    # Staged reload
+    # ------------------------------------------------------------------
+    def reload(self, path: "str | Path | None" = None) -> int:
+        """Staged checkpoint rollout: canary → shadow check → fan out.
+
+        Returns the fleet-wide model version after full rollout. Raises
+        :class:`FleetReloadError` (canary quarantined, incumbents still
+        serving the old weights) if the canary's reload or shadow check
+        fails.
+        """
+        candidates = [
+            i for i in range(len(self.replicas)) if i not in self._quarantined
+        ]
+        if not candidates:
+            raise ServiceError("all replicas are quarantined")
+        canary = candidates[0]
+        reference = self._shadow_reference(candidates[1:])
+        try:
+            self.replicas[canary].reload(path)
+        except BaseException as error:
+            raise FleetReloadError(
+                f"canary {self.replicas[canary].name} rejected the "
+                f"checkpoint: {error}"
+            ) from error
+        try:
+            self._shadow_check(canary, reference)
+        except BaseException as error:
+            self._quarantine(canary)
+            raise FleetReloadError(
+                f"canary {self.replicas[canary].name} failed its shadow "
+                f"check and was quarantined: {error}"
+            ) from error
+        self._reload_stage_counter.inc()
+        for index in candidates[1:]:
+            self.replicas[index].reload(path)
+        logger.info(
+            "staged reload complete: %d replicas at model version %d",
+            len(candidates), self.replicas[canary].model_version,
+        )
+        return self.model_version
+
+    def _shadow_reference(self, incumbents: list[int]) -> Forecast | None:
+        """An incumbent's full forecast, for relative shadow comparison."""
+        if self.config.shadow_tolerance is None or not incumbents:
+            return None
+        try:
+            return self.replicas[incumbents[0]].predict(None)
+        except ServiceError:
+            return None  # busy/degraded incumbent: finiteness check only
+
+    def _shadow_check(self, canary: int, reference: Forecast | None) -> None:
+        """The canary must answer sanely on the new weights.
+
+        Always: an all-finite forecast for the live frontier slot. With
+        ``shadow_tolerance``: mean absolute deviation from the incumbent
+        forecast, relative to the incumbent's scale, within the bound —
+        a cheap stand-in for a full dark-launch comparison window.
+        """
+        forecast = self.replicas[canary].predict(None)
+        demand = np.asarray(forecast.demand)
+        supply = np.asarray(forecast.supply)
+        if not (np.all(np.isfinite(demand)) and np.all(np.isfinite(supply))):
+            raise ServiceError("canary forecast contains non-finite values")
+        tolerance = self.config.shadow_tolerance
+        if tolerance is None or reference is None:
+            return
+        ref_d = np.asarray(reference.demand)
+        ref_s = np.asarray(reference.supply)
+        scale = max(
+            float(np.abs(ref_d).mean() + np.abs(ref_s).mean()), 1e-9
+        )
+        deviation = float(
+            np.abs(demand - ref_d).mean() + np.abs(supply - ref_s).mean()
+        ) / scale
+        if deviation > tolerance:
+            raise ServiceError(
+                f"canary deviates {deviation:.3f} from incumbents "
+                f"(tolerance {tolerance:.3f})"
+            )
+
+    def _quarantine(self, index: int) -> None:
+        with self._lock:
+            self._quarantined.add(index)
+            self._quarantine_gauge.set(len(self._quarantined))
+        logger.error("quarantined replica %s", self.replicas[index].name)
+
+    def restore_replica(self, index: int) -> None:
+        """Lift a quarantine after the replica has been repaired."""
+        with self._lock:
+            self._quarantined.discard(index)
+            self._quarantine_gauge.set(len(self._quarantined))
+
+    @property
+    def quarantined(self) -> frozenset[int]:
+        return frozenset(self._quarantined)
+
+    # ------------------------------------------------------------------
+    # Health / status
+    # ------------------------------------------------------------------
+    def replica_health(self) -> list[dict]:
+        """Per-replica operational snapshot (the ``/replicas`` body)."""
+        return [
+            {
+                "name": replica.name,
+                "running": replica.running,
+                "pending": replica.pending,
+                "model_version": replica.model_version,
+                "reload_failed": replica.reload_failed,
+                "quarantined": i in self._quarantined,
+            }
+            for i, replica in enumerate(self.replicas)
+        ]
+
+    def status(self) -> dict:
+        """Fleet-wide ``/status``: merged SLOs plus the worst replica.
+
+        The ``slo`` block is :func:`repro.obs.slo.aggregate_slos` output
+        — fleet objectives over bucket-summed latency histograms and
+        summed counters, per-replica verdicts, and ``worst_replica`` —
+        so a single poller sees both "is the fleet healthy" and "which
+        replica do I look at first".
+        """
+        slo = aggregate_slos(
+            self.replicas[0].config.slo,
+            prefixes=[r.name for r in self.replicas],
+            qualities={
+                r.name: r.quality for r in self.replicas
+                if r.quality is not None
+            },
+        )
+        return {
+            "status": "ok" if slo["healthy"] else "degraded",
+            "frontier": self.store.frontier,
+            "warmed_up": self.store.warmed_up,
+            "model_version": self.model_version,
+            "dispatcher_running": self.running,
+            "reload_failed": self.reload_failed,
+            "shards": getattr(self.store, "num_shards", 1),
+            "replicas": self.replica_health(),
+            "slo": slo,
+            "trace": trace_status(),
+            "quality": None,
+        }
+
+
+def _clone_model(model: STGNNDJD) -> STGNNDJD:
+    """An independent copy of the model for one replica.
+
+    Replicas must not share parameter storage: a staged reload swaps
+    one replica's weights while the others keep serving the old ones.
+    """
+    clone = STGNNDJD(model.config, rng=np.random.default_rng(0))
+    for dst, src in zip(clone.parameters(), model.parameters()):
+        dst.data[...] = src.data
+    clone.eval()
+    return clone
+
+
+class FleetHandler(ServingHandler):
+    """The serving handler plus fleet introspection endpoints."""
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] == "/replicas":
+            self._send_json(200, {
+                "replicas": self.server.service.replica_health()
+            })
+            return
+        super().do_GET()
+
+
+def make_fleet_server(
+    router: FleetRouter, host: str = "127.0.0.1", port: int = 0
+) -> ServingHTTPServer:
+    """Bind the fleet behind the standard serving HTTP surface."""
+    return ServingHTTPServer((host, port), router, handler=FleetHandler)

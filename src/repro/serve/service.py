@@ -47,8 +47,10 @@ from __future__ import annotations
 import dataclasses
 import os
 import queue
+import random
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -97,6 +99,18 @@ class ServiceStopped(ServiceError):
     """The service stopped before the request completed."""
 
 
+class ReplicaCrash(ServiceError):
+    """An injected replica crash: kills the dispatcher thread.
+
+    The process-level ``crash`` fault action is ``os._exit`` — unusable
+    for killing *one* replica of an in-process fleet. Injecting this
+    exception at a replica's dispatch seam (``fleet.replica{i}.dispatch``)
+    instead fails the in-flight batch and then tears down the dispatcher
+    thread, so the replica goes ``running=False`` mid-traffic and the
+    router has to route around it and restart it.
+    """
+
+
 @dataclass(frozen=True, slots=True)
 class ServiceConfig:
     """Serving knobs.
@@ -112,18 +126,33 @@ class ServiceConfig:
     forecast-quality monitoring (forecasts reconciled against realized
     flows on slot rollover); ``slo`` declares the objectives the
     ``/status`` endpoint evaluates.
+
+    ``name`` prefixes the service's metric names and fault sites
+    (``{name}.requests``, ``{name}.dispatch``, ...). The default
+    ``"serve"`` preserves the historical names; a fleet names each
+    replica ``fleet.replica{i}`` so per-replica traffic, faults, and
+    SLOs stay distinguishable in one shared registry.
+
+    ``retry_jitter`` bounds the randomized fraction added to the
+    ``Retry-After`` hint on overload: the advertised delay is drawn
+    uniformly from ``[retry_after_seconds,
+    retry_after_seconds * (1 + retry_jitter)]``, decorrelating
+    synchronized clients that would otherwise retry in lockstep.
+    ``0`` restores the fixed hint.
     """
 
     max_batch: int = 64
     batch_wait_seconds: float = 0.002
     queue_depth: int = 256
     retry_after_seconds: float = 0.05
+    retry_jitter: float = 0.5
     request_timeout_seconds: float = 30.0
     cache: bool = True
     checkpoint_path: str | None = None
     reload_poll_seconds: float | None = None
     quality: QualityConfig | None = None
     slo: SLOConfig | None = None
+    name: str = "serve"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -132,6 +161,12 @@ class ServiceConfig:
             raise ValueError("batch_wait_seconds must be >= 0")
         if self.queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError(
+                f"retry_jitter must be in 0..1, got {self.retry_jitter}"
+            )
+        if not self.name:
+            raise ValueError("name must be a non-empty metric/fault prefix")
         if self.reload_poll_seconds is not None and self.reload_poll_seconds <= 0:
             raise ValueError("reload_poll_seconds must be positive when set")
         if self.reload_poll_seconds is not None and self.checkpoint_path is None:
@@ -218,16 +253,29 @@ class PredictionService:
         self.reload_error_event = threading.Event()
         obs = default_registry()
         self._obs = obs
-        self._requests_counter = obs.counter("serve.requests")
-        self._rejected_counter = obs.counter("serve.rejected")
-        self._batch_size_hist = obs.histogram("serve.batch_size")
-        self._queue_depth_gauge = obs.gauge("serve.queue_depth")
-        self._cache_hits = obs.counter("serve.cache_hits")
-        self._cache_misses = obs.counter("serve.cache_misses")
-        self._reload_counter = obs.counter("serve.reloads")
-        self._reload_errors = obs.counter("serve.reload_errors")
-        self._stale_counter = obs.counter("serve.stale_served")
-        self._request_timer = obs.timer("serve.request_seconds")
+        name = self.config.name
+        self.name = name
+        # Fault sites carry the same prefix as metrics: the default
+        # "serve.dispatch"/"serve.forecast"/"serve.reload" sites stay,
+        # and a fleet replica exposes fleet.replica{i}.* instead.
+        self._dispatch_site = f"{name}.dispatch"
+        self._forecast_site = f"{name}.forecast"
+        self._reload_site = f"{name}.reload"
+        # Deterministic per-service jitter stream for Retry-After hints:
+        # seeded from the service name so replicas decorrelate from each
+        # other without ever touching global RNG state (request-path
+        # purity is pinned by tests/serve/test_rng_isolation.py).
+        self._retry_rng = random.Random(zlib.crc32(name.encode()))
+        self._requests_counter = obs.counter(f"{name}.requests")
+        self._rejected_counter = obs.counter(f"{name}.rejected")
+        self._batch_size_hist = obs.histogram(f"{name}.batch_size")
+        self._queue_depth_gauge = obs.gauge(f"{name}.queue_depth")
+        self._cache_hits = obs.counter(f"{name}.cache_hits")
+        self._cache_misses = obs.counter(f"{name}.cache_misses")
+        self._reload_counter = obs.counter(f"{name}.reloads")
+        self._reload_errors = obs.counter(f"{name}.reload_errors")
+        self._stale_counter = obs.counter(f"{name}.stale_served")
+        self._request_timer = obs.timer(f"{name}.request_seconds")
         # Continuous quality monitoring: capture forecasts as they are
         # issued and reconcile them when the store closes their slot.
         self.quality: QualityMonitor | None = None
@@ -328,6 +376,19 @@ class PredictionService:
         """Whether the newest reload attempt failed (weights lag the disk)."""
         return self._reload_failed
 
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet answered (the router's load signal)."""
+        return self._queue.qsize()
+
+    def _next_retry_after(self) -> float:
+        """The jittered Retry-After hint for one overload rejection."""
+        base = self.config.retry_after_seconds
+        jitter = self.config.retry_jitter
+        if jitter <= 0.0:
+            return base
+        return base * (1.0 + jitter * self._retry_rng.random())
+
     def status(self) -> dict:
         """Operational summary: SLO health, tracing, quality windows.
 
@@ -336,7 +397,8 @@ class PredictionService:
         unset); quality is ``None`` until monitoring is armed.
         """
         slo = evaluate_slos(
-            self.config.slo, registry=self._obs, quality=self.quality
+            self.config.slo, registry=self._obs, quality=self.quality,
+            prefix=self.name,
         )
         return {
             "status": "ok" if slo["healthy"] else "degraded",
@@ -356,7 +418,8 @@ class PredictionService:
             return self
         self._stop.clear()
         self._dispatcher = threading.Thread(
-            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+            target=self._dispatch_loop,
+            name=f"{self.name}-dispatcher", daemon=True,
         )
         self._dispatcher.start()
         if self.config.reload_poll_seconds is not None:
@@ -373,7 +436,10 @@ class PredictionService:
         if not self.running:
             return
         self._stop.set()
-        self._queue.put(None)  # wake the dispatcher
+        try:
+            self._queue.put_nowait(None)  # wake the dispatcher
+        except queue.Full:
+            pass  # dispatcher polls _stop every 100ms; no need to block
         self._dispatcher.join(timeout=5.0)
         self._dispatcher = None
         if self._watcher is not None:
@@ -437,7 +503,7 @@ class PredictionService:
             self._queue.put_nowait(request)
         except queue.Full:
             self._rejected_counter.inc()
-            raise ServiceOverloaded(self.config.retry_after_seconds) from None
+            raise ServiceOverloaded(self._next_retry_after()) from None
         if self._obs.enabled:
             self._queue_depth_gauge.set(self._queue.qsize())
         timeout = self.config.request_timeout_seconds if timeout is None else timeout
@@ -501,13 +567,21 @@ class PredictionService:
                     batch_size=len(batch),
                 )
                 try:
-                    fault_point("serve.dispatch")
+                    fault_point(self._dispatch_site)
                     full = self._full_forecast(model, version)
                 except BaseException as error:  # noqa: BLE001 - forwarded to callers
                     batch_span.set(outcome="error", error=type(error).__name__)
                     for request in batch:
                         request.error = error
                         request.done.set()
+                    if isinstance(error, ReplicaCrash):
+                        # An injected crash: fail the in-flight batch
+                        # honestly, then take the dispatcher down with
+                        # it. ``running`` flips False and the fleet
+                        # router must detect, bypass, and restart us.
+                        logger.error("%s: dispatcher crashed (%s)",
+                                     self.name, error)
+                        return
                     continue
                 batch_span.set(outcome="ok", slot=full.slot,
                                cached=full.cached, stale=full.stale)
@@ -553,7 +627,7 @@ class PredictionService:
             # dropout on the serving path.
             model.eval()
         try:
-            fault_point("serve.forecast")
+            fault_point(self._forecast_site)
             sample = store.sample()
             with trace_span("serve.forward", slot=sample.t) as forward_span:
                 config = trace_config()
@@ -649,7 +723,7 @@ class PredictionService:
             raise ServiceError("no checkpoint path configured for reload")
         with self._reload_lock:
             try:
-                fault_point("serve.reload")
+                fault_point(self._reload_site)
                 model = load_stgnn(path)
                 self._check_compatible(model)
             except BaseException:

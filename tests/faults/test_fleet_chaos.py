@@ -1,0 +1,168 @@
+"""Injected fleet failures: replica crashes, hangs, torn shard rollovers.
+
+The fleet contract under chaos: a crashed or hung replica never loses a
+request (the router reroutes, then revives the dispatcher), and a torn
+cross-shard rollover never loses an update (the next coherent read
+self-heals and reassembles bitwise what a single store would hold).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import STGNNDJD
+from repro.faults import FaultPlan, InjectedFault, injected
+from repro.serve import (
+    FleetRouter,
+    FlowStateConfig,
+    FlowStateStore,
+    ReplicaCrash,
+    ServiceConfig,
+    ShardedFlowStore,
+)
+
+SLOT = 1800.0
+
+
+@pytest.fixture(scope="module")
+def served_model(tiny_dataset):
+    return STGNNDJD.from_dataset(tiny_dataset, seed=3)
+
+
+@pytest.fixture
+def fleet(served_model, tiny_dataset):
+    return FleetRouter.for_dataset(
+        served_model, tiny_dataset, num_shards=2, num_replicas=2,
+        service_config=ServiceConfig(cache=False),
+    )
+
+
+class TestRouteSeam:
+    def test_route_fault_fails_one_request_not_the_fleet(self, fleet):
+        plan = FaultPlan(seed=0).on("fleet.route", at=2)
+        with fleet:
+            with injected(plan):
+                assert fleet.predict() is not None
+                with pytest.raises(InjectedFault):
+                    fleet.predict()
+                assert fleet.predict() is not None
+            assert fleet.running
+
+
+class TestReplicaChaosZeroLoss:
+    def test_crash_and_hang_lose_no_requests_and_no_updates(
+        self, fleet, tiny_dataset
+    ):
+        """One replica crashes, the other hangs; every request is still
+        answered and the sharded state stays bitwise-parity with an
+        uninjected mirror store fed the same events."""
+        mirror = FlowStateStore.from_dataset(tiny_dataset)
+        plan = (
+            FaultPlan(seed=0)
+            .on("fleet.replica0.dispatch", "raise", at=1,
+                exception=ReplicaCrash("injected replica crash"))
+            .on("fleet.replica1.dispatch", "hang", at=2, hang_seconds=0.1)
+        )
+        slot_seconds = tiny_dataset.config.slot_seconds
+        results: list = []
+        errors: list[BaseException] = []
+
+        def call():
+            try:
+                results.append(fleet.predict(timeout=10.0))
+            except BaseException as error:  # noqa: BLE001 - recorded
+                errors.append(error)
+
+        with fleet, injected(plan):
+            threads = [threading.Thread(target=call) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            # Ingest rides through the same chaos window.
+            for i in range(200):
+                origin, destination = i % 8, (i * 3 + 1) % 8
+                start = (fleet.store.frontier + (i % 3)) * slot_seconds + 1.0
+                end = start + 300.0
+                accepted = fleet.store.ingest_event(
+                    origin, destination, start, end
+                )
+                assert accepted == mirror.apply_event(
+                    origin, destination, start, end
+                )
+            for thread in threads:
+                thread.join(timeout=15.0)
+
+        assert not errors
+        assert len(results) == 8
+        fired_sites = {fault.site for fault in plan.fired}
+        assert fired_sites == {
+            "fleet.replica0.dispatch", "fleet.replica1.dispatch",
+        }
+        assert fleet.store.frontier == mirror.frontier
+        first_f, in_f, out_f = fleet.store.retained_tensors()
+        first_m, in_m, out_m = mirror.retained_tensors()
+        assert first_f == first_m
+        assert np.array_equal(in_f, in_m)
+        assert np.array_equal(out_f, out_m)
+
+    def test_crashed_replica_is_revived_with_its_queue_intact(self, fleet):
+        plan = FaultPlan(seed=0).on(
+            "fleet.replica0.dispatch", "raise", at=1,
+            exception=ReplicaCrash("injected replica crash"),
+        )
+        with fleet:
+            with injected(plan):
+                fleet.predict()
+            fleet.replicas[0]._dispatcher.join(timeout=5.0)
+            assert not fleet.replicas[0].running
+            for _ in range(4):
+                assert fleet.predict() is not None
+            assert fleet.replicas[0].running  # revived by dispatch
+
+
+class TestTornRollover:
+    def _config(self):
+        return FlowStateConfig(num_stations=8, slot_seconds=SLOT,
+                               short_window=4, long_days=1)
+
+    def test_mid_advance_fault_heals_without_losing_updates(self):
+        """A fault between per-shard advances tears the fleet clock;
+        the next assembled read heals it and matches a single store."""
+        fleet_store = ShardedFlowStore(self._config(), num_shards=2)
+        mirror = FlowStateStore(self._config())
+        for i in range(40):
+            start = (i // 4) * SLOT + 10.0 * (i % 4)
+            fleet_store.ingest_event(i % 8, (i + 5) % 8, start, start + 60.0)
+            mirror.apply_event(i % 8, (i + 5) % 8, start, start + 60.0)
+
+        # Shard 0 advances (state.rollover hit 1), shard 1 raises on
+        # hit 2: the fleet advance is torn mid-loop.
+        plan = FaultPlan(seed=0).on("state.rollover", at=2)
+        with injected(plan):
+            with pytest.raises(InjectedFault):
+                fleet_store.advance_to(fleet_store.frontier + 5)
+        assert not fleet_store.coherent
+        assert plan.fired
+
+        mirror.advance_to(mirror.frontier + 5)
+        first_f, in_f, out_f = fleet_store.retained_tensors()  # heals
+        assert fleet_store.coherent
+        assert fleet_store.frontier == mirror.frontier
+        first_m, in_m, out_m = mirror.retained_tensors()
+        assert first_f == first_m
+        assert np.array_equal(in_f, in_m)
+        assert np.array_equal(out_f, out_m)
+
+    def test_fleet_rollover_fault_fires_before_any_shard_moves(self):
+        fleet_store = ShardedFlowStore(self._config(), num_shards=2)
+        plan = FaultPlan(seed=0).on("fleet.rollover", at=1)
+        with injected(plan):
+            with pytest.raises(InjectedFault):
+                fleet_store.advance_to(5)
+        # The seam sits before the per-shard loop: nothing tore.
+        assert fleet_store.coherent
+        assert fleet_store.frontier == 0
+        fleet_store.advance_to(5)
+        assert fleet_store.frontier == 5

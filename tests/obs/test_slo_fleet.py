@@ -1,0 +1,146 @@
+"""Fleet SLO aggregation: merged histograms, per-replica verdicts.
+
+``aggregate_slos`` answers two different operator questions from one
+registry snapshot: "is the fleet healthy" (objectives over bucket-summed
+latency histograms and summed counters — the true fleet p99, not an
+average of averages) and "which replica do I look at first"
+(``worst_replica``).
+"""
+
+import pytest
+
+from repro.obs.registry import Registry
+from repro.obs.slo import (
+    SLOConfig,
+    _MergedHistogram,
+    aggregate_slos,
+    evaluate_slos,
+    histogram_quantile,
+)
+
+
+def replica_traffic(registry, prefix, requests, latency, stale=0, rejected=0):
+    registry.counter(f"{prefix}.requests").inc(requests)
+    timer = registry.timer(f"{prefix}.request_seconds")
+    for _ in range(requests):
+        timer.observe(latency)
+    if stale:
+        registry.counter(f"{prefix}.stale_served").inc(stale)
+    if rejected:
+        registry.counter(f"{prefix}.rejected").inc(rejected)
+
+
+@pytest.fixture
+def registry():
+    reg = Registry()
+    reg.enabled = True
+    return reg
+
+
+class TestEvaluatePrefix:
+    def test_prefix_selects_the_replica_family(self, registry):
+        replica_traffic(registry, "fleet.replica0", 10, 2.0)
+        replica_traffic(registry, "fleet.replica1", 10, 0.001)
+        config = SLOConfig(p99_latency_seconds=0.25)
+        slow = evaluate_slos(config, registry=registry,
+                             prefix="fleet.replica0")
+        fast = evaluate_slos(config, registry=registry,
+                             prefix="fleet.replica1")
+        assert slow["healthy"] is False
+        assert fast["healthy"] is True
+
+    def test_default_prefix_is_the_single_service(self, registry):
+        replica_traffic(registry, "serve", 5, 0.001)
+        result = evaluate_slos(registry=registry)
+        p99 = next(o for o in result["objectives"]
+                   if o["name"] == "p99_latency_seconds")
+        assert p99["value"] is not None
+
+
+class TestMergedHistogram:
+    def test_bucket_sums_are_exact(self, registry):
+        a = registry.timer("a.request_seconds")
+        b = registry.timer("b.request_seconds")
+        for _ in range(99):
+            a.observe(0.002)
+        b.observe(5.0)
+        merged = _MergedHistogram([a, b])
+        assert merged.count == 100
+        assert merged.sum == pytest.approx(99 * 0.002 + 5.0)
+        assert merged.min == a.min
+        assert merged.max == b.max
+        assert merged.bucket_counts == [
+            x + y for x, y in zip(a.bucket_counts, b.bucket_counts)
+        ]
+        # 99 fast + 1 slow: the fleet p99 must see the slow tail, and a
+        # p50 must not be dragged up by it (what a mean-of-p99s does).
+        assert histogram_quantile(merged, 0.995) >= 5.0
+        assert histogram_quantile(merged, 0.5) <= 0.01
+
+    def test_merged_p99_is_not_an_average_of_averages(self, registry):
+        # One slow replica hides inside a per-replica average; the
+        # merged distribution keeps its latencies at the right rank.
+        replica_traffic(registry, "fleet.replica0", 60, 0.001)
+        replica_traffic(registry, "fleet.replica1", 40, 1.0)
+        merged = _MergedHistogram([
+            registry.timer("fleet.replica0.request_seconds"),
+            registry.timer("fleet.replica1.request_seconds"),
+        ])
+        assert histogram_quantile(merged, 0.99) >= 1.0
+        assert histogram_quantile(merged, 0.5) <= 0.01
+
+
+class TestAggregateSlos:
+    PREFIXES = ["fleet.replica0", "fleet.replica1"]
+
+    def test_idle_fleet_is_healthy(self, registry):
+        result = aggregate_slos(prefixes=self.PREFIXES, registry=registry)
+        assert result["healthy"] is True
+        assert set(result["replicas"]) == set(self.PREFIXES)
+        assert result["worst_replica"] in self.PREFIXES
+
+    def test_one_slow_replica_fails_the_fleet_and_is_named(self, registry):
+        replica_traffic(registry, "fleet.replica0", 100, 0.001)
+        replica_traffic(registry, "fleet.replica1", 100, 2.0)
+        result = aggregate_slos(
+            SLOConfig(p99_latency_seconds=0.25),
+            prefixes=self.PREFIXES, registry=registry,
+        )
+        assert result["worst_replica"] == "fleet.replica1"
+        assert result["replicas"]["fleet.replica0"]["healthy"] is True
+        assert result["replicas"]["fleet.replica1"]["healthy"] is False
+        # Half the fleet's traffic breaches: merged p99 breaches too,
+        # and fleet health requires every replica healthy regardless.
+        assert result["fleet"]["healthy"] is False
+        assert result["healthy"] is False
+
+    def test_fleet_counters_are_summed(self, registry):
+        replica_traffic(registry, "fleet.replica0", 50, 0.001, stale=1)
+        replica_traffic(registry, "fleet.replica1", 50, 0.001, stale=1)
+        result = aggregate_slos(
+            SLOConfig(max_staleness_ratio=0.05),
+            prefixes=self.PREFIXES, registry=registry,
+        )
+        staleness = next(o for o in result["fleet"]["objectives"]
+                         if o["name"] == "staleness_ratio")
+        assert staleness["value"] == pytest.approx(2 / 100)
+        assert staleness["healthy"] is True
+
+    def test_replica_breach_fails_fleet_even_if_merged_passes(
+        self, registry
+    ):
+        # Replica 1 sheds a third of its (tiny) traffic slice; diluted
+        # across the fleet the merged burn passes, but fleet health
+        # must not paper over a replica on fire.
+        replica_traffic(registry, "fleet.replica0", 996, 0.001)
+        replica_traffic(registry, "fleet.replica1", 2, 0.001, rejected=1)
+        result = aggregate_slos(
+            SLOConfig(error_budget=0.005),
+            prefixes=self.PREFIXES, registry=registry,
+        )
+        fleet_burn = next(o for o in result["fleet"]["objectives"]
+                          if o["name"] == "error_budget_burn")
+        assert fleet_burn["healthy"] is True
+        assert result["replicas"]["fleet.replica1"]["healthy"] is False
+        assert result["healthy"] is False
+        assert result["worst_replica"] == "fleet.replica1"

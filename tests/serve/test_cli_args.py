@@ -1,0 +1,117 @@
+"""``python -m repro.serve`` flag validation: clear errors, no tracebacks.
+
+Bad flag combinations must die at parse time via ``parser.error`` —
+SystemExit(2) with the offending flag named on stderr — instead of
+surfacing minutes later as a config ``__post_init__`` traceback or a
+wedged fleet. ``build_service`` picks the single-service or fleet tier
+from the same flags.
+"""
+
+import pytest
+
+from repro.serve.__main__ import build_service, main
+from repro.serve.fleet import FleetRouter
+from repro.serve.service import PredictionService
+
+
+def expect_flag_error(capsys, argv: list[str], fragment: str) -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2  # argparse's usage-error exit code
+    stderr = capsys.readouterr().err
+    assert fragment in stderr
+    assert "Traceback" not in stderr
+
+
+class TestFleetFlagValidation:
+    def test_zero_replicas(self, capsys):
+        expect_flag_error(capsys, ["--replicas", "0"],
+                          "--replicas must be >= 1")
+
+    def test_negative_shards(self, capsys):
+        expect_flag_error(capsys, ["--shards", "-2"],
+                          "--shards must be >= 1")
+
+    def test_more_shards_than_stations(self, capsys):
+        # The deploy city has 12 stations; each shard needs at least one.
+        expect_flag_error(capsys, ["--shards", "13"],
+                          "exceeds the 12 stations")
+
+    def test_shards_checked_against_selected_city(self, capsys):
+        expect_flag_error(capsys, ["--city", "tiny", "--shards", "100"],
+                          "--city tiny")
+
+
+class TestServiceFlagValidation:
+    def test_zero_max_batch(self, capsys):
+        expect_flag_error(capsys, ["--max-batch", "0"],
+                          "--max-batch must be >= 1")
+
+    def test_negative_batch_wait(self, capsys):
+        expect_flag_error(capsys, ["--batch-wait", "-0.1"],
+                          "--batch-wait must be >= 0")
+
+    def test_zero_queue_depth(self, capsys):
+        expect_flag_error(capsys, ["--queue-depth", "0"],
+                          "--queue-depth must be >= 1")
+
+    def test_zero_reload_poll(self, capsys):
+        expect_flag_error(capsys, ["--reload-poll", "0"],
+                          "--reload-poll must be > 0")
+
+    def test_trace_sample_out_of_range(self, capsys):
+        expect_flag_error(capsys, ["--trace-sample", "1.5"],
+                          "--trace-sample must be in 0..1")
+
+    def test_nonpositive_slo(self, capsys):
+        expect_flag_error(capsys, ["--slo-p99", "0"],
+                          "--slo-p99 must be > 0")
+
+
+class TestCrossFlagValidation:
+    def test_quality_window_requires_quality(self, capsys):
+        expect_flag_error(capsys, ["--quality-window", "64"],
+                          "--quality-window requires --quality")
+
+    def test_quality_window_must_be_positive(self, capsys):
+        expect_flag_error(capsys, ["--quality", "--quality-window", "0"],
+                          "--quality-window must be >= 1")
+
+    def test_trace_requires_events_sink(self, capsys):
+        expect_flag_error(capsys, ["--trace"], "--trace requires --events")
+
+
+class TestBuildService:
+    def _args(self, *extra):
+        import argparse
+
+        from repro.serve.__main__ import _validate_args
+
+        namespace = argparse.Namespace(
+            host="127.0.0.1", port=0, checkpoint=None, city="tiny",
+            seed=13, replicas=1, shards=1, max_batch=64, batch_wait=0.002,
+            queue_depth=256, reload_poll=2.0, events=None,
+            events_max_mb=64.0, trace=False, trace_sample=1.0,
+            quality=False, quality_window=None, slo_p99=0.25,
+            verbose=False,
+        )
+        for key, value in zip(extra[::2], extra[1::2]):
+            setattr(namespace, key, value)
+        _validate_args(argparse.ArgumentParser(), namespace)
+        return namespace
+
+    def test_single_service_without_fleet_flags(self):
+        service = build_service(self._args())
+        assert isinstance(service, PredictionService)
+
+    def test_fleet_router_when_sharded(self):
+        router = build_service(self._args("shards", 2, "replicas", 2))
+        assert isinstance(router, FleetRouter)
+        assert len(router.replicas) == 2
+        assert router.store.num_shards == 2
+
+    def test_replicas_alone_still_builds_a_fleet(self):
+        router = build_service(self._args("replicas", 3))
+        assert isinstance(router, FleetRouter)
+        assert len(router.replicas) == 3
+        assert router.store.num_shards == 1

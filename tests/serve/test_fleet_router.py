@@ -1,0 +1,288 @@
+"""FleetRouter: dispatch policy, failover, staged reload, aggregation."""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import STGNNDJD, save_checkpoint
+from repro.faults import FaultPlan, injected
+from repro.serve import (
+    FleetConfig,
+    FleetReloadError,
+    FleetRouter,
+    ReplicaCrash,
+    ServiceConfig,
+    ServiceError,
+    make_fleet_server,
+)
+from repro.serve.service import _Request
+
+
+@pytest.fixture(scope="module")
+def served_model(tiny_dataset):
+    return STGNNDJD.from_dataset(tiny_dataset, seed=3)
+
+
+def build_fleet(model, dataset, **kwargs) -> FleetRouter:
+    return FleetRouter.for_dataset(model, dataset, num_shards=2,
+                                   num_replicas=2, **kwargs)
+
+
+def count_dispatches(router) -> list[int]:
+    """Wrap each replica's predict so tests can see who served what."""
+    counts = [0] * len(router.replicas)
+    for i, replica in enumerate(router.replicas):
+        original = replica.predict
+
+        def counting(stations=None, timeout=None, _i=i, _original=original):
+            counts[_i] += 1
+            return _original(stations, timeout=timeout)
+
+        replica.predict = counting
+    return counts
+
+
+class TestConstruction:
+    def test_replica_names_and_isolated_models(self, served_model,
+                                               tiny_dataset):
+        router = build_fleet(served_model, tiny_dataset)
+        assert [r.name for r in router.replicas] == [
+            "fleet.replica0", "fleet.replica1",
+        ]
+        # Same weights, distinct storage: a staged reload must be able
+        # to swap one replica without moving the other.
+        p0 = list(router.replicas[0]._model.parameters())
+        p1 = list(router.replicas[1]._model.parameters())
+        for a, b in zip(p0, p1):
+            assert np.array_equal(a.data, b.data)
+            assert a.data is not b.data
+
+    def test_replicas_share_one_store(self, served_model, tiny_dataset):
+        router = build_fleet(served_model, tiny_dataset)
+        assert all(r.store is router.store for r in router.replicas)
+        assert router.store.num_shards == 2
+
+    def test_validation(self, served_model, tiny_dataset):
+        with pytest.raises(ValueError, match="at least one replica"):
+            FleetRouter([])
+        with pytest.raises(ValueError, match="num_replicas"):
+            FleetRouter.for_dataset(served_model, tiny_dataset,
+                                    num_replicas=0)
+        a = build_fleet(served_model, tiny_dataset)
+        b = build_fleet(served_model, tiny_dataset)
+        with pytest.raises(ValueError, match="share one flow store"):
+            FleetRouter([a.replicas[0], b.replicas[1]])
+        with pytest.raises(ValueError, match="strategy"):
+            FleetConfig(strategy="random")
+        with pytest.raises(ValueError, match="shadow_tolerance"):
+            FleetConfig(shadow_tolerance=0.0)
+
+
+class TestDispatch:
+    def test_round_robin_alternates(self, served_model, tiny_dataset):
+        router = build_fleet(served_model, tiny_dataset,
+                             config=FleetConfig(strategy="round_robin"),
+                             service_config=ServiceConfig(cache=False))
+        counts = count_dispatches(router)
+        with router:
+            for _ in range(4):
+                router.predict()
+        assert counts == [2, 2]
+
+    def test_least_loaded_avoids_the_backlogged_replica(
+        self, served_model, tiny_dataset
+    ):
+        router = build_fleet(served_model, tiny_dataset)
+        counts = count_dispatches(router)
+        # Replica 0 is never started; its queue holds a synthetic
+        # backlog, so the load signal steers every request to replica 1.
+        for _ in range(3):
+            router.replicas[0]._queue.put_nowait(_Request(None))
+        for _ in range(3):
+            router.predict()
+        assert counts == [0, 3]
+        assert not router.replicas[0].running
+        router.stop()
+
+    def test_crashed_replica_reroutes_and_restarts(self, served_model,
+                                                   tiny_dataset):
+        router = build_fleet(served_model, tiny_dataset,
+                             service_config=ServiceConfig(cache=False))
+        plan = FaultPlan(seed=0).on(
+            "fleet.replica0.dispatch", "raise", at=1,
+            exception=ReplicaCrash("injected replica crash"),
+        )
+        with router:
+            with injected(plan):
+                forecast = router.predict()  # rerouted within the call
+            assert forecast is not None
+            assert plan.fired
+            # The crash killed replica 0's dispatcher mid-fleet.
+            router.replicas[0]._dispatcher.join(timeout=5.0)
+            assert not router.replicas[0].running
+            assert router.running  # replica 1 carries the fleet
+            # The next dispatch that picks replica 0 revives it.
+            for _ in range(4):
+                router.predict()
+            assert router.replicas[0].running
+
+    def test_auto_restart_off_leaves_the_replica_down(self, served_model,
+                                                      tiny_dataset):
+        router = build_fleet(served_model, tiny_dataset,
+                             config=FleetConfig(auto_restart=False),
+                             service_config=ServiceConfig(cache=False))
+        plan = FaultPlan(seed=0).on(
+            "fleet.replica0.dispatch", "raise", at=1,
+            exception=ReplicaCrash("injected replica crash"),
+        )
+        with router:
+            with injected(plan):
+                router.predict()
+            router.replicas[0]._dispatcher.join(timeout=5.0)
+            for _ in range(4):
+                router.predict()  # still served, by replica 1 alone
+            assert not router.replicas[0].running
+
+
+class TestStagedReload:
+    def test_fan_out_after_healthy_canary(self, served_model, tiny_dataset,
+                                          tmp_path):
+        path = tmp_path / "next.npz"
+        save_checkpoint(STGNNDJD.from_dataset(tiny_dataset, seed=9), path)
+        router = build_fleet(served_model, tiny_dataset)
+        assert router.reload(path) == 1
+        assert [r.model_version for r in router.replicas] == [1, 1]
+        assert not router.reload_failed
+        assert router.quarantined == frozenset()
+
+    def test_failed_canary_is_quarantined_and_incumbents_serve(
+        self, served_model, tiny_dataset, tmp_path
+    ):
+        path = tmp_path / "next.npz"
+        save_checkpoint(STGNNDJD.from_dataset(tiny_dataset, seed=9), path)
+        router = build_fleet(
+            served_model, tiny_dataset,
+            # An impossibly tight shadow band: any real weight change
+            # fails the canary check, standing in for a bad checkpoint.
+            config=FleetConfig(shadow_tolerance=1e-12),
+        )
+        before = router.predict()
+        with pytest.raises(FleetReloadError, match="quarantined"):
+            router.reload(path)
+        assert router.quarantined == {0}
+        assert router.reload_failed
+        # Incumbent still serves the old weights to all traffic.
+        assert router.replicas[1].model_version == 0
+        assert router.model_version == 0
+        after = router.predict()
+        np.testing.assert_array_equal(after.demand, before.demand)
+
+        router.restore_replica(0)
+        assert router.quarantined == frozenset()
+        assert router.predict() is not None  # back in the rotation
+
+    def test_unreadable_checkpoint_fails_without_quarantine(
+        self, served_model, tiny_dataset, tmp_path
+    ):
+        router = build_fleet(served_model, tiny_dataset)
+        with pytest.raises(FleetReloadError, match="rejected"):
+            router.reload(tmp_path / "missing.npz")
+        # Reload failed atomically: old weights intact, nothing to bench.
+        assert router.quarantined == frozenset()
+        assert [r.model_version for r in router.replicas] == [0, 0]
+
+    def test_all_quarantined_refuses_to_route_or_reload(
+        self, served_model, tiny_dataset
+    ):
+        router = build_fleet(served_model, tiny_dataset)
+        router._quarantine(0)
+        router._quarantine(1)
+        with pytest.raises(ServiceError, match="quarantined"):
+            router.predict()
+        with pytest.raises(ServiceError, match="quarantined"):
+            router.reload()
+
+
+class TestAggregation:
+    def test_status_shape(self, served_model, tiny_dataset):
+        router = build_fleet(served_model, tiny_dataset)
+        router.predict()
+        status = router.status()
+        assert status["status"] in ("ok", "degraded")
+        assert status["shards"] == 2
+        assert len(status["replicas"]) == 2
+        slo = status["slo"]
+        assert set(slo) >= {"healthy", "fleet", "replicas", "worst_replica"}
+        assert slo["worst_replica"] in ("fleet.replica0", "fleet.replica1")
+        assert set(slo["replicas"]) == {"fleet.replica0", "fleet.replica1"}
+
+    def test_replica_health_snapshot(self, served_model, tiny_dataset):
+        router = build_fleet(served_model, tiny_dataset)
+        router._quarantine(1)
+        health = router.replica_health()
+        assert [h["name"] for h in health] == [
+            "fleet.replica0", "fleet.replica1",
+        ]
+        assert [h["quarantined"] for h in health] == [False, True]
+        assert all(h["model_version"] == 0 for h in health)
+
+    def test_retry_after_jitter_is_decorrelated_across_replicas(
+        self, served_model, tiny_dataset
+    ):
+        # Each replica seeds its jitter stream from its name, so a
+        # synchronized herd of rejected clients never gets handed one
+        # identical wall-clock retry time by every replica.
+        router = build_fleet(served_model, tiny_dataset)
+        hints0 = [router.replicas[0]._next_retry_after() for _ in range(8)]
+        hints1 = [router.replicas[1]._next_retry_after() for _ in range(8)]
+        assert hints0 != hints1
+        base = router.replicas[0].config.retry_after_seconds
+        jitter = router.replicas[0].config.retry_jitter
+        for hint in hints0 + hints1:
+            assert base <= hint <= base * (1.0 + jitter)
+
+
+class TestFleetHTTP:
+    @pytest.fixture
+    def fleet_server(self, served_model, tiny_dataset):
+        router = build_fleet(served_model, tiny_dataset)
+        http_server = make_fleet_server(router, port=0)
+        thread = threading.Thread(target=http_server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        router.start()
+        try:
+            yield http_server
+        finally:
+            router.stop()
+            http_server.shutdown()
+            http_server.server_close()
+            thread.join(timeout=5.0)
+
+    def _get(self, server, path):
+        host, port = server.server_address[:2]
+        with urllib.request.urlopen(
+            f"http://{host}:{port}{path}", timeout=10.0
+        ) as response:
+            return response.status, json.loads(response.read())
+
+    def test_predict_and_replicas_endpoint(self, fleet_server, tiny_dataset):
+        status, body = self._get(fleet_server, "/predict")
+        assert status == 200
+        assert len(body["demand"]) == tiny_dataset.num_stations
+
+        status, body = self._get(fleet_server, "/replicas")
+        assert status == 200
+        assert [r["name"] for r in body["replicas"]] == [
+            "fleet.replica0", "fleet.replica1",
+        ]
+        assert all(r["running"] for r in body["replicas"])
+
+    def test_status_aggregates_fleet(self, fleet_server):
+        status, body = self._get(fleet_server, "/status")
+        assert status == 200
+        assert body["shards"] == 2
+        assert "worst_replica" in body["slo"]

@@ -1,0 +1,201 @@
+"""Shard parity: K-sharded ingest reassembles bitwise equal to one store.
+
+The property test is the fleet tier's load-bearing guarantee — a dirty,
+out-of-order trip stream routed through a :class:`ShardedFlowStore`
+(K ∈ {1, 2, 7}) must leave retained tensors, samples, and realized
+flows **bitwise** identical to a single :class:`FlowStateStore` fed the
+same events in the same order. Plus deterministic coverage of the shard
+map, coherent clocks, and the torn-rollover self-healing path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.records import TripRecord
+from repro.serve import FlowStateConfig, FlowStateStore, ShardedFlowStore, ShardMap
+
+SLOT = 1800.0
+
+
+class TestShardMap:
+    def test_balanced_contiguous_blocks(self):
+        shard_map = ShardMap(10, 3)
+        assert shard_map.sizes() == [4, 3, 3]
+        assert [shard_map.shard_of(s) for s in range(10)] == [
+            0, 0, 0, 0, 1, 1, 1, 2, 2, 2,
+        ]
+        np.testing.assert_array_equal(shard_map.stations(1), [4, 5, 6])
+
+    def test_every_station_owned_exactly_once(self):
+        shard_map = ShardMap(571, 7)  # the paper's Divvy city
+        owned = np.concatenate([
+            shard_map.stations(k) for k in range(7)
+        ])
+        np.testing.assert_array_equal(np.sort(owned), np.arange(571))
+        assert sum(shard_map.sizes()) == 571
+        assert max(shard_map.sizes()) - min(shard_map.sizes()) <= 1
+
+    def test_rejects_more_shards_than_stations(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardMap(3, 4)
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardMap(3, 0)
+
+    def test_shard_of_rejects_out_of_range(self):
+        shard_map = ShardMap(8, 2)
+        with pytest.raises(ValueError, match="station"):
+            shard_map.shard_of(8)
+        with pytest.raises(ValueError, match="shard"):
+            shard_map.stations(2)
+
+
+@st.composite
+def dirty_streams(draw):
+    """A dirty trip log in bounded-lateness delivery order.
+
+    Stations start at 7 so every K ∈ {1, 2, 7} yields non-empty shards;
+    durations span dirty-negative through in-transit-past-the-end, and
+    adjacent deliveries are swapped when their slot gap stays inside
+    the retained horizon.
+    """
+    num_stations = draw(st.integers(min_value=7, max_value=12))
+    num_slots = draw(st.integers(min_value=8, max_value=100))
+    num_trips = draw(st.integers(min_value=0, max_value=120))
+    trips = []
+    for trip_id in range(num_trips):
+        origin = draw(st.integers(0, num_stations - 1))
+        destination = draw(st.integers(0, num_stations - 1))
+        start_slot = draw(st.integers(0, num_slots - 1))
+        offset = draw(st.floats(min_value=0.0, max_value=SLOT - 1.0))
+        start = start_slot * SLOT + offset
+        duration = draw(st.floats(min_value=-2 * SLOT, max_value=6 * SLOT))
+        trips.append(TripRecord(trip_id, origin, destination, start,
+                                float(start + duration)))
+    trips.sort(key=lambda t: t.start_time)
+    for i in range(len(trips) - 1):
+        gap = trips[i + 1].start_slot(SLOT) - trips[i].start_slot(SLOT)
+        if gap <= 40 and draw(st.booleans()):
+            trips[i], trips[i + 1] = trips[i + 1], trips[i]
+    return num_stations, num_slots, trips
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 7])
+@given(stream=dirty_streams())
+@settings(max_examples=25, deadline=None)
+def test_sharded_ingest_matches_single_store_bitwise(num_shards, stream):
+    num_stations, num_slots, trips = stream
+    config = FlowStateConfig(
+        num_stations=num_stations, slot_seconds=SLOT,
+        short_window=6, long_days=1,
+    )
+    single = FlowStateStore(config)
+    fleet = ShardedFlowStore(config, num_shards=num_shards)
+    for trip in trips:
+        assert single.ingest(trip) == fleet.ingest(trip)
+    single.advance_to(num_slots)
+    fleet.advance_to(num_slots)
+
+    assert fleet.frontier == single.frontier
+    first_s, in_s, out_s = single.retained_tensors()
+    first_f, in_f, out_f = fleet.retained_tensors()
+    assert first_f == first_s
+    assert np.array_equal(in_f, in_s)
+    assert np.array_equal(out_f, out_s)
+
+    for slot in (first_s, (first_s + num_slots) // 2, num_slots):
+        demand_s, supply_s = single.realized(slot)
+        demand_f, supply_f = fleet.realized(slot)
+        assert np.array_equal(demand_f, demand_s)
+        assert np.array_equal(supply_f, supply_s)
+
+    if num_slots >= config.horizon:
+        sample_s = single.sample()
+        sample_f = fleet.sample()
+        assert sample_f.t == sample_s.t
+        assert np.array_equal(sample_f.short_inflow, sample_s.short_inflow)
+        assert np.array_equal(sample_f.short_outflow, sample_s.short_outflow)
+        assert np.array_equal(sample_f.long_inflow, sample_s.long_inflow)
+        assert np.array_equal(sample_f.long_outflow, sample_s.long_outflow)
+
+
+class TestCoherentClocks:
+    def config(self, **overrides):
+        defaults = dict(num_stations=8, slot_seconds=SLOT,
+                        short_window=4, long_days=1)
+        defaults.update(overrides)
+        return FlowStateConfig(**defaults)
+
+    def test_ingest_pre_advances_all_shards(self):
+        fleet = ShardedFlowStore(self.config(), num_shards=2)
+        fleet.ingest_event(0, 7, 10 * SLOT, 10 * SLOT + 60)
+        assert fleet.coherent
+        assert all(s.frontier == 10 for s in fleet.shards)
+
+    def test_torn_rollover_heals_on_next_read(self):
+        fleet = ShardedFlowStore(self.config(), num_shards=2)
+        fleet.advance_to(10)
+        # Tear the clocks: one shard advanced out-of-band (what an
+        # injected rollover fault leaves behind).
+        fleet.shards[0].advance_to(14)
+        assert not fleet.coherent
+        assert fleet.frontier == 10  # conservative: the laggard
+        fleet.retained_tensors()  # any assembled read heals first
+        assert fleet.coherent
+        assert fleet.frontier == 14
+
+    def test_torn_rollover_heals_on_next_advance(self):
+        fleet = ShardedFlowStore(self.config(), num_shards=3)
+        fleet.advance_to(10)
+        fleet.shards[2].advance_to(20)
+        fleet.advance_to(12)  # target below the runaway shard
+        assert fleet.coherent
+        assert fleet.frontier == 20  # raised to the max, never backwards
+
+    def test_cannot_advance_backwards(self):
+        fleet = ShardedFlowStore(self.config(), num_shards=2)
+        fleet.advance_to(10)
+        with pytest.raises(ValueError, match="backwards"):
+            fleet.advance_to(9)
+
+    def test_rollover_listener_fires_once_per_advance(self):
+        fleet = ShardedFlowStore(self.config(), num_shards=2)
+        calls = []
+        fleet.add_rollover_listener(
+            lambda store, closed: calls.append(list(closed))
+        )
+        fleet.advance_to(3)
+        fleet.ingest_event(1, 2, 5 * SLOT, 5 * SLOT + 60)  # auto-advance
+        assert calls == [[0, 1, 2], [3, 4]]
+
+    def test_late_verdict_consistent_across_shards(self):
+        config = self.config(late_policy="drop")
+        fleet = ShardedFlowStore(config, num_shards=2)
+        horizon = config.horizon
+        fleet.advance_to(horizon + 60)
+        # Cross-shard event far behind the horizon: dropped, not torn.
+        accepted = fleet.ingest_event(0, 7, 0.0, 60.0)
+        assert not accepted
+        assert fleet.version == sum(s.version for s in fleet.shards)
+
+    def test_partitioned_store_refuses_direct_sample(self):
+        fleet = ShardedFlowStore(self.config(), num_shards=2)
+        fleet.advance_to(fleet.config.horizon)
+        with pytest.raises(ValueError, match="ShardedFlowStore.sample"):
+            fleet.shards[0].sample()
+
+
+def test_warm_start_matches_single_store(tiny_dataset):
+    single = FlowStateStore.from_dataset(tiny_dataset)
+    fleet = ShardedFlowStore.from_dataset(tiny_dataset, num_shards=3)
+    assert fleet.frontier == single.frontier
+    assert fleet.warmed_up
+    first_s, in_s, out_s = single.retained_tensors()
+    first_f, in_f, out_f = fleet.retained_tensors()
+    assert first_f == first_s
+    assert np.array_equal(in_f, in_s)
+    assert np.array_equal(out_f, out_s)
+    sample_s, sample_f = single.sample(), fleet.sample()
+    assert np.array_equal(sample_f.short_inflow, sample_s.short_inflow)
+    assert np.array_equal(sample_f.long_outflow, sample_s.long_outflow)

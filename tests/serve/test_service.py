@@ -177,7 +177,9 @@ class TestDispatcher:
                 service._queue.put_nowait(request)
             with pytest.raises(ServiceOverloaded) as excinfo:
                 service.predict()
-            assert excinfo.value.retry_after == pytest.approx(0.123)
+            # The hint is jittered (thundering-herd decorrelation):
+            # base <= hint <= base * (1 + retry_jitter).
+            assert 0.123 <= excinfo.value.retry_after <= 0.123 * 1.5
             release.set()
             t1.join(timeout=10.0)
             for request in backlog:  # rejected != dropped: these finish
