@@ -370,6 +370,73 @@ class Trainer:
     # ------------------------------------------------------------------
     # Crash resilience: epoch-boundary snapshots + bitwise resume
     # ------------------------------------------------------------------
+    def capture_snapshot(
+        self,
+        epoch: int = -1,
+        history: TrainingHistory | None = None,
+        best_val: float = float("inf"),
+        bad_epochs: int = 0,
+    ) -> TrainingSnapshot:
+        """The trainer's full optimization state as a snapshot object.
+
+        Captures parameters, Adam moments and step count, the shuffling
+        RNG and the early-stopping bookkeeping. The fit loop uses it at
+        epoch boundaries; the continual-learning loop calls it directly
+        after each incremental retrain (``epoch=-1`` marks a snapshot
+        not tied to a specific fit epoch) and hands the result to the
+        next cycle's :meth:`warm_start`.
+        """
+        history = history if history is not None else TrainingHistory()
+        adam = self.optimizer
+        return TrainingSnapshot(
+            epoch=epoch,
+            model_state=self.model.state_dict(),
+            adam_step_count=adam._step_count,
+            adam_m={f"{i:04d}": m for i, m in enumerate(adam._m)},
+            adam_v={f"{i:04d}": v for i, v in enumerate(adam._v)},
+            rng_state=self._rng.bit_generator.state,
+            train_loss=list(history.train_loss),
+            val_loss=list(history.val_loss),
+            best_epoch=history.best_epoch,
+            best_val=best_val,
+            bad_epochs=bad_epochs,
+            best_state=self._best_state,
+            fingerprint=training_fingerprint(self.model),
+        )
+
+    def warm_start(self, snapshot: TrainingSnapshot) -> None:
+        """Adopt a snapshot's optimization state without its fit progress.
+
+        Loads model parameters, Adam moments/step count and the
+        shuffling RNG, but none of the epoch counter, loss history or
+        early-stopping bookkeeping — the next :meth:`fit` starts at
+        epoch 0 of whatever (possibly different) dataset window this
+        trainer holds while optimizing from exactly where the snapshot
+        left off. This is the continual loop's incremental-retrain
+        entry point; crash-resume of an interrupted fit should keep
+        using ``snapshot_path``/``resume`` instead.
+        """
+        expected = training_fingerprint(self.model)
+        if snapshot.fingerprint != expected:
+            raise CheckpointSchemaError(
+                f"training snapshot was written for {snapshot.fingerprint!r}, "
+                f"not {expected!r}; refusing to warm-start"
+            )
+        adam = self.optimizer
+        if len(snapshot.adam_m) != len(adam.parameters):
+            raise CheckpointSchemaError(
+                f"training snapshot carries {len(snapshot.adam_m)} optimizer "
+                f"moments for {len(adam.parameters)} parameters"
+            )
+        self.model.load_state_dict(snapshot.model_state)
+        adam._step_count = snapshot.adam_step_count
+        for i in range(len(adam.parameters)):
+            adam._m[i][...] = snapshot.adam_m[f"{i:04d}"]
+            adam._v[i][...] = snapshot.adam_v[f"{i:04d}"]
+        self._rng.bit_generator.state = snapshot.rng_state
+        self._best_state = None
+        self._target_cache.clear()
+
     def _save_snapshot(
         self,
         path: str,
@@ -387,21 +454,8 @@ class Trainer:
         stopped. The write is atomic (tmp + rename), so a crash *during*
         snapshotting leaves the previous snapshot intact.
         """
-        adam = self.optimizer
-        snapshot = TrainingSnapshot(
-            epoch=epoch,
-            model_state=self.model.state_dict(),
-            adam_step_count=adam._step_count,
-            adam_m={f"{i:04d}": m for i, m in enumerate(adam._m)},
-            adam_v={f"{i:04d}": v for i, v in enumerate(adam._v)},
-            rng_state=self._rng.bit_generator.state,
-            train_loss=list(history.train_loss),
-            val_loss=list(history.val_loss),
-            best_epoch=history.best_epoch,
-            best_val=best_val,
-            bad_epochs=bad_epochs,
-            best_state=self._best_state,
-            fingerprint=training_fingerprint(self.model),
+        snapshot = self.capture_snapshot(
+            epoch=epoch, history=history, best_val=best_val, bad_epochs=bad_epochs
         )
         save_training_snapshot(path, snapshot)
 

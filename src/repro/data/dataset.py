@@ -287,6 +287,27 @@ class BikeShareDataset:
             self._fit_normalizers()
         return self._flow_scale
 
+    def use_normalizers(
+        self,
+        demand: MinMaxNormalizer,
+        supply: MinMaxNormalizer,
+        flow_scale: float,
+    ) -> "BikeShareDataset":
+        """Pin externally fitted normalizers instead of fitting lazily.
+
+        The continual-learning loop retrains on short windows extracted
+        from the live store; refitting Min-Max ranges per window would
+        silently rescale the model's input space every cycle, so each
+        extraction adopts the *deployment's* normalizers (the ones the
+        serving checkpoint was trained with). Returns ``self``.
+        """
+        if flow_scale <= 0:
+            raise ValueError(f"flow_scale must be positive, got {flow_scale}")
+        self._demand_normalizer = demand
+        self._supply_normalizer = supply
+        self._flow_scale = float(flow_scale)
+        return self
+
     def __repr__(self) -> str:
         return (
             f"BikeShareDataset(name={self.name!r}, stations={self.num_stations}, "

@@ -28,6 +28,12 @@ site                            where / what it models
 ``state.clock``                 transform: skew an event's (start, end) times
 ``state.rollover``              slot rollover in the flow store
 ``quality.reconcile``           quality monitor folding a closed slot's forecasts
+``continual.extract``           continual loop, before reading store history
+``continual.retrain``           before the warm-started incremental retrain
+``continual.evaluate``          before the candidate-vs-live shadow evaluation
+``continual.promote``           before the candidate checkpoint hits disk
+``continual.promote.artifact``  transform: the checkpoint path between the
+                                atomic write and the fleet rollout (bit rot)
 ==============================  =================================================
 """
 

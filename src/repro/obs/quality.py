@@ -301,6 +301,26 @@ class QualityMonitor:
         else:
             self._drifting = False
 
+    def reset(self, baseline: QualityBaseline | None = None) -> None:
+        """Flush pending forecasts and rolling windows.
+
+        Required when the station set changes (graph evolution): window
+        entries are ``(n,)`` vectors, and stacking mixed-width entries
+        would crash the rolling metrics. Drift state re-arms; pass a new
+        ``baseline`` to rebase the drift monitor at the same time.
+        """
+        with self._lock:
+            self._pending.clear()
+            self._windows.clear()
+            self._drifting = False
+            if baseline is not None:
+                self.config = QualityConfig(
+                    window=self.config.window,
+                    min_samples=self.config.min_samples,
+                    drift_threshold=self.config.drift_threshold,
+                    baseline=baseline,
+                )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

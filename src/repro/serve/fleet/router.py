@@ -126,6 +126,12 @@ class FleetRouter:
         self._lock = threading.Lock()
         self._rr = 0  # round-robin cursor (also the tiebreak rotation)
         self._quarantined: set[int] = set()
+        # Serializes staged rollouts: an operator-triggered reload and a
+        # continual-learning promotion arriving together must not
+        # interleave their canary → shadow-check → fan-out phases (two
+        # concurrent canaries would shadow-check against each other's
+        # half-rolled-out weights).
+        self._reload_lock = threading.Lock()
         obs = default_registry()
         self._requests_counter = obs.counter("fleet.requests")
         self._retries_counter = obs.counter("fleet.retries")
@@ -314,38 +320,43 @@ class FleetRouter:
         Returns the fleet-wide model version after full rollout. Raises
         :class:`FleetReloadError` (canary quarantined, incumbents still
         serving the old weights) if the canary's reload or shadow check
-        fails.
+        fails. Rollouts serialize on a promotion lock: a concurrent
+        reload (operator-triggered, checkpoint watcher, or continual
+        promotion) waits for the in-flight one to finish its fan-out
+        rather than interleaving canary phases.
         """
-        candidates = [
-            i for i in range(len(self.replicas)) if i not in self._quarantined
-        ]
-        if not candidates:
-            raise ServiceError("all replicas are quarantined")
-        canary = candidates[0]
-        reference = self._shadow_reference(candidates[1:])
-        try:
-            self.replicas[canary].reload(path)
-        except BaseException as error:
-            raise FleetReloadError(
-                f"canary {self.replicas[canary].name} rejected the "
-                f"checkpoint: {error}"
-            ) from error
-        try:
-            self._shadow_check(canary, reference)
-        except BaseException as error:
-            self._quarantine(canary)
-            raise FleetReloadError(
-                f"canary {self.replicas[canary].name} failed its shadow "
-                f"check and was quarantined: {error}"
-            ) from error
-        self._reload_stage_counter.inc()
-        for index in candidates[1:]:
-            self.replicas[index].reload(path)
-        logger.info(
-            "staged reload complete: %d replicas at model version %d",
-            len(candidates), self.replicas[canary].model_version,
-        )
-        return self.model_version
+        with self._reload_lock:
+            candidates = [
+                i for i in range(len(self.replicas))
+                if i not in self._quarantined
+            ]
+            if not candidates:
+                raise ServiceError("all replicas are quarantined")
+            canary = candidates[0]
+            reference = self._shadow_reference(candidates[1:])
+            try:
+                self.replicas[canary].reload(path)
+            except BaseException as error:
+                raise FleetReloadError(
+                    f"canary {self.replicas[canary].name} rejected the "
+                    f"checkpoint: {error}"
+                ) from error
+            try:
+                self._shadow_check(canary, reference)
+            except BaseException as error:
+                self._quarantine(canary)
+                raise FleetReloadError(
+                    f"canary {self.replicas[canary].name} failed its shadow "
+                    f"check and was quarantined: {error}"
+                ) from error
+            self._reload_stage_counter.inc()
+            for index in candidates[1:]:
+                self.replicas[index].reload(path)
+            logger.info(
+                "staged reload complete: %d replicas at model version %d",
+                len(candidates), self.replicas[canary].model_version,
+            )
+            return self.model_version
 
     def _shadow_reference(self, incumbents: list[int]) -> Forecast | None:
         """An incumbent's full forecast, for relative shadow comparison."""

@@ -152,6 +152,7 @@ class ShardedFlowStore:
                     late_policy=config.late_policy,
                     owned_stations=owned,
                     metric_prefix=prefix,
+                    retained_slots=config.retained_slots,
                 )
             else:
                 shard = FlowStateStore(
@@ -179,9 +180,12 @@ class ShardedFlowStore:
         num_shards: int = 2,
         frontier: int | None = None,
         late_policy: str = "drop",
+        retained_slots: int | None = None,
     ) -> "ShardedFlowStore":
         """Warm-start every shard from a dataset's flow history."""
-        config = FlowStateConfig.for_dataset(dataset, late_policy=late_policy)
+        config = FlowStateConfig.for_dataset(
+            dataset, late_policy=late_policy, retained_slots=retained_slots
+        )
         frontier = dataset.num_slots if frontier is None else frontier
         return cls(
             config, num_shards=num_shards, frontier=frontier,
@@ -211,7 +215,7 @@ class ShardedFlowStore:
 
     @property
     def oldest_retained(self) -> int:
-        return max(0, self.frontier - self.config.horizon)
+        return max(0, self.frontier - self.config.retention)
 
     @property
     def warmed_up(self) -> bool:
@@ -408,6 +412,43 @@ class ShardedFlowStore:
             for shard in self.shards:
                 shard.scatter_window(slots, inflow, outflow)
             return first, inflow, outflow
+
+    def history_window(
+        self, slots: int | None = None, end: int | None = None
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """Full-city training tensors assembled across shards.
+
+        Same contract as :meth:`FlowStateStore.history_window` —
+        finalized slots only, bitwise equal to ``build_flow_tensors``
+        rows — with the K row blocks scattered back into one
+        ``(m, n, n)`` pair under the fleet lock.
+        """
+        n = self.config.num_stations
+        with self._lock:
+            self._heal()
+            stop = self.frontier if end is None else int(end)
+            if not 0 <= stop <= self.frontier:
+                raise ValueError(
+                    f"end must be in 0..{self.frontier} (the frontier), got {stop}"
+                )
+            if slots is None:
+                start = min(stop, self.oldest_retained)
+            else:
+                if slots < 0:
+                    raise ValueError(f"slots must be >= 0, got {slots}")
+                start = stop - int(slots)
+            if start < self.oldest_retained and start < stop:
+                raise ValueError(
+                    f"history window {start}..{stop} reaches behind the oldest "
+                    f"retained slot {self.oldest_retained}; raise "
+                    f"FlowStateConfig.retained_slots to keep a deeper history"
+                )
+            slot_ids = np.arange(start, stop)
+            inflow = np.empty((len(slot_ids), n, n))
+            outflow = np.empty((len(slot_ids), n, n))
+            for shard in self.shards:
+                shard.scatter_window(slot_ids, inflow, outflow)
+            return start, inflow, outflow
 
     def _heal(self) -> None:
         # Called under the fleet lock before any assembled read: a torn

@@ -708,6 +708,22 @@ class PredictionService:
             stale=full.stale,
         )
 
+    def on_graph_evolved(self) -> None:
+        """Drop state tied to the previous station set.
+
+        Called after the underlying flow store grew or shrank its
+        station axis (continual-learning graph evolution): the forecast
+        cache, the stale-serving fallback and the quality monitor all
+        hold ``(n,)``-shaped arrays for the *old* ``n`` and must not
+        leak into post-evolution responses. The model itself is swapped
+        separately via :meth:`reload` (the evolved checkpoint).
+        """
+        with self._cache_lock:
+            self._cache.clear()
+        self._last_good = None
+        if self.quality is not None:
+            self.quality.reset()
+
     # ------------------------------------------------------------------
     # Hot reload
     # ------------------------------------------------------------------

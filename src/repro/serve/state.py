@@ -75,7 +75,10 @@ class FlowStateConfig:
     ``long_days`` (``d``) mirror :class:`repro.data.dataset.FlowDataConfig`;
     ``late_policy`` decides what happens to events older than the
     retained horizon: ``"drop"`` counts and ignores them, ``"error"``
-    raises.
+    raises. ``retained_slots`` optionally deepens retention beyond the
+    sampling horizon so an online trainer can pull multi-day training
+    windows out of the live store (:meth:`FlowStateStore.history_window`)
+    — it never shrinks below :attr:`horizon`.
     """
 
     num_stations: int
@@ -83,6 +86,7 @@ class FlowStateConfig:
     short_window: int = 96
     long_days: int = 7
     late_policy: str = "drop"
+    retained_slots: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_stations < 1:
@@ -101,6 +105,10 @@ class FlowStateConfig:
             raise ValueError(
                 f"late_policy must be 'drop' or 'error', got {self.late_policy!r}"
             )
+        if self.retained_slots is not None and self.retained_slots < 1:
+            raise ValueError(
+                f"retained_slots must be >= 1 when set, got {self.retained_slots}"
+            )
 
     @property
     def slots_per_day(self) -> int:
@@ -111,9 +119,18 @@ class FlowStateConfig:
         """Deepest lookback any sample window needs, in slots."""
         return max(self.short_window, self.long_days * self.slots_per_day)
 
+    @property
+    def retention(self) -> int:
+        """Slots kept behind the frontier: the sampling horizon, or more
+        when ``retained_slots`` asks for a deeper training window."""
+        return max(self.horizon, self.retained_slots or 0)
+
     @classmethod
     def for_dataset(
-        cls, dataset: BikeShareDataset, late_policy: str = "drop"
+        cls,
+        dataset: BikeShareDataset,
+        late_policy: str = "drop",
+        retained_slots: int | None = None,
     ) -> "FlowStateConfig":
         """A config matching a dataset's dimensions and windows."""
         return cls(
@@ -122,6 +139,7 @@ class FlowStateConfig:
             short_window=dataset.config.short_window,
             long_days=dataset.config.long_days,
             late_policy=late_policy,
+            retained_slots=retained_slots,
         )
 
 
@@ -174,7 +192,7 @@ class FlowStateStore:
             self._local = local
             rows = int(owned.size)
         self._rows = rows
-        self._capacity = config.horizon + 1  # retained slots: (f - H, f]
+        self._capacity = config.retention + 1  # retained slots: (f - R, f]
         self._inflow = np.zeros((self._capacity, rows, n))
         self._outflow = np.zeros((self._capacity, rows, n))
         self._pending_inflow: dict[int, np.ndarray] = {}
@@ -219,6 +237,7 @@ class FlowStateStore:
         late_policy: str = "drop",
         owned_stations: "np.ndarray | list[int] | None" = None,
         metric_prefix: str = "serve",
+        retained_slots: int | None = None,
     ) -> "FlowStateStore":
         """Warm-start a store from a dataset's materialized flow history.
 
@@ -228,7 +247,9 @@ class FlowStateStore:
         windows instead of a zero-padded warm-up. A partitioned store
         (``owned_stations``) copies only its own rows.
         """
-        config = FlowStateConfig.for_dataset(dataset, late_policy=late_policy)
+        config = FlowStateConfig.for_dataset(
+            dataset, late_policy=late_policy, retained_slots=retained_slots
+        )
         frontier = dataset.num_slots if frontier is None else frontier
         if not 0 <= frontier <= dataset.num_slots:
             raise ValueError(
@@ -240,7 +261,7 @@ class FlowStateStore:
             owned_stations=owned_stations,
             metric_prefix=metric_prefix,
         )
-        first = max(0, frontier - config.horizon)
+        first = max(0, frontier - config.retention)
         sel = store._owned_sel
         for slot in range(first, frontier):
             row = slot % store._capacity
@@ -264,7 +285,7 @@ class FlowStateStore:
     @property
     def oldest_retained(self) -> int:
         """Oldest slot still held in the ring (never below 0)."""
-        return max(0, self._frontier - self.config.horizon)
+        return max(0, self._frontier - self.config.retention)
 
     @property
     def owned_stations(self) -> "np.ndarray | None":
@@ -367,7 +388,7 @@ class FlowStateStore:
                     raise LateEventError(
                         f"event starting in slot {start_slot} is behind the "
                         f"retained horizon (oldest retained: "
-                        f"{self._frontier - self.config.horizon})"
+                        f"{self._frontier - self.config.retention})"
                     )
                 self._late_dropped_counter.inc()
                 return False
@@ -570,3 +591,44 @@ class FlowStateStore:
             slots = np.arange(first, self._frontier + 1)
             rows = slots % self._capacity
             return first, self._inflow[rows].copy(), self._outflow[rows].copy()
+
+    def history_window(
+        self, slots: int | None = None, end: int | None = None
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """Training-ready ``(first_slot, inflow, outflow)`` flow tensors.
+
+        Returns contiguous copies of the last ``slots`` *finalized*
+        slots ending at ``end`` (exclusive; defaults to the frontier, so
+        the open, still-accumulating frontier row is never included).
+        Rows are bitwise equal to the corresponding rows of
+        :func:`repro.data.flows.build_flow_tensors` over the same event
+        log — both paths accumulate integer-valued ``+= 1.0`` into
+        float64 zeros, so the continual trainer retrains on exactly the
+        tensors the offline pipeline would have built. Raises
+        :class:`ValueError` when the requested range reaches behind
+        :attr:`oldest_retained` (deepen ``retained_slots`` to keep
+        more). A partitioned store returns its owned rows only;
+        :meth:`repro.serve.fleet.ShardedFlowStore.history_window`
+        assembles the full city.
+        """
+        with self._lock:
+            stop = self._frontier if end is None else int(end)
+            if not 0 <= stop <= self._frontier:
+                raise ValueError(
+                    f"end must be in 0..{self._frontier} (the frontier), got {stop}"
+                )
+            if slots is None:
+                start = min(stop, self.oldest_retained)
+            else:
+                if slots < 0:
+                    raise ValueError(f"slots must be >= 0, got {slots}")
+                start = stop - int(slots)
+            if start < self.oldest_retained and start < stop:
+                raise ValueError(
+                    f"history window {start}..{stop} reaches behind the oldest "
+                    f"retained slot {self.oldest_retained}; raise "
+                    f"FlowStateConfig.retained_slots to keep a deeper history"
+                )
+            slot_ids = np.arange(start, stop)
+            rows = slot_ids % self._capacity
+            return start, self._inflow[rows].copy(), self._outflow[rows].copy()

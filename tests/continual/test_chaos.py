@@ -1,0 +1,208 @@
+"""Chaos tests for the ``continual.*`` fault seams.
+
+The invariants the continual loop must keep under injected failure:
+
+* a crash at extract/retrain/evaluate leaves the live deployment —
+  checkpoint file, training snapshot, store, model version — untouched;
+* a failed promotion (canary quarantined by the fleet's shadow check)
+  is rolled back: the previous checkpoint is restored byte-compatible,
+  the canary reloads it, the quarantine is lifted;
+* a corrupt candidate artifact (bit rot between write and rollout)
+  never reaches a replica — the pre-flight schema/corruption gate from
+  the checkpoint layer stops it and the rollback ladder runs.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import load_state, load_training_snapshot
+from repro.core.trainer import Trainer, TrainingConfig
+from repro.data.synthetic import SyntheticCityConfig, generate_city
+from repro.core.model import STGNNDJD
+from repro.core.persistence import save_checkpoint, save_training_snapshot
+from repro.continual import (
+    ContinualConfig,
+    ContinualLearner,
+    PromotionRolledBack,
+)
+from repro.faults import FaultPlan, InjectedFault, injected
+from repro.obs.events import JsonlExporter, read_events, sink_scope
+from repro.serve.fleet.router import FleetRouter
+from repro.serve.fleet.shard import ShardedFlowStore
+from repro.serve.service import PredictionService
+from repro.serve.state import FlowStateStore
+
+RETAINED = 9 * 24  # tiny-config slots: keep 9 days behind the frontier
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    """One offline training run shared by every chaos scenario."""
+    root = tmp_path_factory.mktemp("trained")
+    dataset = generate_city(
+        SyntheticCityConfig.tiny(days=10, num_stations=6), seed=42
+    )
+    model = STGNNDJD.from_dataset(
+        dataset, seed=3, fcg_layers=1, pcg_layers=1, num_heads=2, dropout=0.0
+    )
+    trainer = Trainer(
+        model, dataset, TrainingConfig(epochs=1, batch_size=16, seed=0)
+    )
+    history = trainer.fit(1)
+    save_checkpoint(model, root / "model.npz")
+    save_training_snapshot(
+        root / "snap.npz", trainer.capture_snapshot(epoch=0, history=history)
+    )
+    return dataset, root
+
+
+def _learner(dataset, artifacts, tmp_path, *, fleet=False):
+    ckpt = tmp_path / "model.npz"
+    snap = tmp_path / "snap.npz"
+    shutil.copy(artifacts / "model.npz", ckpt)
+    shutil.copy(artifacts / "snap.npz", snap)
+    from repro.core.persistence import load_stgnn
+
+    model = load_stgnn(ckpt)
+    if fleet:
+        store = ShardedFlowStore.from_dataset(
+            dataset, num_shards=2, retained_slots=RETAINED
+        )
+        deploy = FleetRouter.build(
+            model, store,
+            dataset.demand_normalizer, dataset.supply_normalizer,
+            num_replicas=2,
+        ).start()
+    else:
+        store = FlowStateStore.from_dataset(dataset, retained_slots=RETAINED)
+        deploy = PredictionService(
+            model, store,
+            dataset.demand_normalizer, dataset.supply_normalizer,
+        ).start()
+    config = ContinualConfig(
+        checkpoint_path=str(ckpt), snapshot_path=str(snap),
+        train_days=7, retrain_epochs=1, holdback_slots=6,
+    )
+    learner = ContinualLearner(
+        store, deploy, dataset.registry, config,
+        demand_normalizer=dataset.demand_normalizer,
+        supply_normalizer=dataset.supply_normalizer,
+        flow_scale=dataset.flow_scale,
+    )
+    return learner, deploy, store, ckpt, snap
+
+
+def _deployment_fingerprint(deploy, store, ckpt, snap):
+    return (
+        deploy.model_version,
+        store.frontier,
+        store.version,
+        ckpt.read_bytes(),
+        snap.read_bytes(),
+    )
+
+
+@pytest.mark.parametrize(
+    "site", ["continual.extract", "continual.retrain", "continual.evaluate"]
+)
+def test_crash_before_promotion_leaves_deployment_untouched(
+    trained, tmp_path, site
+):
+    dataset, artifacts = trained
+    learner, deploy, store, ckpt, snap = _learner(dataset, artifacts, tmp_path)
+    try:
+        before = _deployment_fingerprint(deploy, store, ckpt, snap)
+        with injected(FaultPlan(seed=0).on(site, at=1)):
+            with pytest.raises(InjectedFault):
+                learner.run_cycle()
+        assert _deployment_fingerprint(deploy, store, ckpt, snap) == before
+        assert learner.promotions == 0
+        # The loop is not wedged: the next cycle runs clean.
+        result = learner.run_cycle()
+        assert result.eval_samples == 6
+    finally:
+        deploy.stop()
+
+
+def test_crash_at_promote_seam_leaves_checkpoint_untouched(trained, tmp_path):
+    """The promote seam fires before the checkpoint write."""
+    dataset, artifacts = trained
+    learner, deploy, store, ckpt, snap = _learner(dataset, artifacts, tmp_path)
+    try:
+        before = _deployment_fingerprint(deploy, store, ckpt, snap)
+        with injected(FaultPlan(seed=0).on("continual.promote", at=1)):
+            with pytest.raises(InjectedFault):
+                learner.run_cycle()
+        assert _deployment_fingerprint(deploy, store, ckpt, snap) == before
+    finally:
+        deploy.stop()
+
+
+def test_failed_canary_promotion_rolls_back_through_quarantine(
+    trained, tmp_path
+):
+    dataset, artifacts = trained
+    learner, fleet, store, ckpt, snap = _learner(
+        dataset, artifacts, tmp_path, fleet=True
+    )
+    try:
+        old_state = load_state(ckpt)
+        old_snapshot_bytes = snap.read_bytes()
+        events_path = tmp_path / "events.jsonl"
+        # The canary's post-reload shadow forecast raises -> the router
+        # quarantines it and the promotion must roll back.
+        plan = FaultPlan(seed=0).on("fleet.replica0.forecast", at=1)
+        with sink_scope(JsonlExporter(events_path)) as sink:
+            with injected(plan):
+                with pytest.raises(PromotionRolledBack):
+                    learner.run_cycle()
+            sink.close()
+        assert fleet.quarantined == frozenset()
+        # Previous weights are back on disk and on every replica.
+        restored = load_state(ckpt)
+        assert restored.keys() == old_state.keys()
+        for name in old_state:
+            assert np.array_equal(restored[name], old_state[name]), name
+        assert snap.read_bytes() == old_snapshot_bytes
+        forecast = fleet.predict(None)
+        assert np.all(np.isfinite(np.asarray(forecast.demand)))
+        names = [e["name"] for e in read_events(events_path)]
+        assert "continual.shadow_eval" in names
+        assert "continual.rolled_back" in names
+        assert "continual.promoted" not in names
+    finally:
+        fleet.stop()
+
+
+def test_corrupt_candidate_never_reaches_the_fleet(trained, tmp_path):
+    dataset, artifacts = trained
+    learner, fleet, store, ckpt, snap = _learner(
+        dataset, artifacts, tmp_path, fleet=True
+    )
+    try:
+        old_state = load_state(ckpt)
+        reloads_before = [r.model_version for r in fleet.replicas]
+
+        def truncate(path):
+            data = ckpt.read_bytes()
+            ckpt.write_bytes(data[: len(data) // 2])
+            return path
+
+        plan = FaultPlan(seed=0).on(
+            "continual.promote.artifact", action="call", callback=truncate
+        )
+        with injected(plan):
+            with pytest.raises(PromotionRolledBack, match="corrupt"):
+                learner.run_cycle()
+        # No replica ever saw the corrupt artifact: versions unchanged,
+        # and the restored checkpoint loads cleanly with the old weights.
+        assert [r.model_version for r in fleet.replicas] == reloads_before
+        assert fleet.quarantined == frozenset()
+        restored = load_state(ckpt)
+        for name in old_state:
+            assert np.array_equal(restored[name], old_state[name]), name
+        load_training_snapshot(snap)  # snapshot untouched and readable
+    finally:
+        fleet.stop()

@@ -1,0 +1,129 @@
+"""Extraction bridge: live store history -> training-ready datasets.
+
+The continual loop's candidate must train on exactly the tensors the
+offline pipeline would have built from the same trips, in exactly the
+input space the live model serves in. These tests pin that: extracted
+windows match dataset slices bitwise, pinned normalizers are the
+deployment's scalers (not refit on the window), and holdback samples
+reproduce ``dataset.sample()`` for the same absolute slots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.continual import (
+    InsufficientHistoryError,
+    extract_training_dataset,
+    holdback_samples,
+    window_bounds,
+)
+from repro.data.synthetic import SyntheticCityConfig, generate_city
+from repro.serve.fleet.shard import ShardedFlowStore
+from repro.serve.state import FlowStateStore
+
+
+@pytest.fixture(scope="module")
+def city():
+    return generate_city(
+        SyntheticCityConfig.tiny(days=10, num_stations=6), seed=42
+    )
+
+
+def _store(city, sharded=False, retained=9 * 24):
+    if sharded:
+        return ShardedFlowStore.from_dataset(
+            city, num_shards=2, retained_slots=retained
+        )
+    return FlowStateStore.from_dataset(city, retained_slots=retained)
+
+
+class TestWindowBounds:
+    def test_day_aligned_and_holdback_separated(self, city):
+        store = _store(city)
+        spd = store.config.slots_per_day
+        start, end = window_bounds(store, train_days=7, holdback_slots=6)
+        assert end % spd == 0 and start % spd == 0
+        assert end - start == 7 * spd
+        assert end <= store.frontier - 6
+
+    def test_insufficient_history_raises(self, city):
+        store = _store(city)
+        with pytest.raises(InsufficientHistoryError):
+            window_bounds(store, train_days=30)
+        shallow = _store(city, retained=48)
+        with pytest.raises(InsufficientHistoryError):
+            window_bounds(shallow, train_days=7)
+
+    def test_validation(self, city):
+        store = _store(city)
+        with pytest.raises(ValueError):
+            window_bounds(store, train_days=0)
+        with pytest.raises(ValueError):
+            window_bounds(store, train_days=1, holdback_slots=-1)
+
+
+class TestExtractTrainingDataset:
+    @pytest.mark.parametrize("sharded", [False, True])
+    def test_tensors_match_source_dataset_bitwise(self, city, sharded):
+        store = _store(city, sharded=sharded)
+        dataset, start = extract_training_dataset(
+            store, city.registry, train_days=7, holdback_slots=6,
+            demand_normalizer=city.demand_normalizer,
+            supply_normalizer=city.supply_normalizer,
+            flow_scale=city.flow_scale,
+        )
+        end = start + dataset.inflow.shape[0]
+        assert np.array_equal(dataset.inflow, city.inflow[start:end])
+        assert np.array_equal(dataset.outflow, city.outflow[start:end])
+
+    def test_pinned_normalizers_are_the_deployments(self, city):
+        store = _store(city)
+        dataset, _ = extract_training_dataset(
+            store, city.registry, train_days=7, holdback_slots=6,
+            demand_normalizer=city.demand_normalizer,
+            supply_normalizer=city.supply_normalizer,
+            flow_scale=city.flow_scale,
+        )
+        assert dataset.demand_normalizer is city.demand_normalizer
+        assert dataset.supply_normalizer is city.supply_normalizer
+        assert dataset.flow_scale == city.flow_scale
+
+    def test_both_or_neither_normalizers(self, city):
+        store = _store(city)
+        with pytest.raises(ValueError, match="both"):
+            extract_training_dataset(
+                store, city.registry, train_days=7,
+                demand_normalizer=city.demand_normalizer,
+            )
+        with pytest.raises(ValueError, match="flow_scale"):
+            extract_training_dataset(
+                store, city.registry, train_days=7,
+                demand_normalizer=city.demand_normalizer,
+                supply_normalizer=city.supply_normalizer,
+            )
+
+
+class TestHoldbackSamples:
+    @pytest.mark.parametrize("sharded", [False, True])
+    def test_samples_match_dataset_windows_bitwise(self, city, sharded):
+        store = _store(city, sharded=sharded)
+        samples = holdback_samples(store, 6)
+        assert len(samples) == 6
+        assert [s.t for s in samples] == list(
+            range(store.frontier - 6, store.frontier)
+        )
+        for sample in samples:
+            reference = city.sample(sample.t)
+            assert np.array_equal(sample.short_inflow, reference.short_inflow)
+            assert np.array_equal(sample.short_outflow, reference.short_outflow)
+            assert np.array_equal(sample.long_inflow, reference.long_inflow)
+            assert np.array_equal(sample.long_outflow, reference.long_outflow)
+            assert np.array_equal(sample.target_demand, reference.target_demand)
+            assert np.array_equal(sample.target_supply, reference.target_supply)
+
+    def test_insufficient_retention_raises(self, city):
+        store = _store(city, retained=50)
+        with pytest.raises(InsufficientHistoryError):
+            holdback_samples(store, 12)
+        with pytest.raises(ValueError):
+            holdback_samples(store, 0)

@@ -158,6 +158,48 @@ class TestStagedReload:
         assert not router.reload_failed
         assert router.quarantined == frozenset()
 
+    def test_concurrent_reloads_serialize_canary_phases(
+        self, served_model, tiny_dataset, tmp_path
+    ):
+        """An operator reload racing a continual promotion must not
+        interleave canary → shadow-check → fan-out phases: the promotion
+        lock admits one full staged rollout at a time."""
+        import time
+
+        path = tmp_path / "next.npz"
+        save_checkpoint(STGNNDJD.from_dataset(tiny_dataset, seed=9), path)
+        router = build_fleet(served_model, tiny_dataset)
+        log: list[tuple[int, str]] = []
+        log_lock = threading.Lock()
+        for i, replica in enumerate(router.replicas):
+            original = replica.reload
+
+            def recording(p=None, _i=i, _original=original):
+                with log_lock:
+                    log.append((threading.get_ident(), f"reload{_i}"))
+                time.sleep(0.02)  # widen any interleaving window
+                return _original(p)
+
+            replica.reload = recording
+
+        threads = [
+            threading.Thread(target=router.reload, args=(path,))
+            for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Each rollout is the contiguous pair (canary, fan-out) from one
+        # thread; a second rollout's canary never lands mid-rollout.
+        assert len(log) == 6
+        for j in range(0, 6, 2):
+            (tid_a, phase_a), (tid_b, phase_b) = log[j], log[j + 1]
+            assert tid_a == tid_b
+            assert (phase_a, phase_b) == ("reload0", "reload1")
+        assert [r.model_version for r in router.replicas] == [3, 3]
+
     def test_failed_canary_is_quarantined_and_incumbents_serve(
         self, served_model, tiny_dataset, tmp_path
     ):
